@@ -1,0 +1,324 @@
+package repro
+
+// Benchmark harness: one benchmark per table and figure of the thesis'
+// evaluation, plus micro-benchmarks for the monitoring substrate.  Each
+// benchmark regenerates the corresponding artefact from scratch so that
+// `go test -bench=. -benchmem` reproduces the entire evaluation; the
+// rendered outputs themselves are available from cmd/icpa, cmd/scenarios,
+// cmd/elevator and cmd/figures.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/elevator"
+	"repro/internal/goals"
+	"repro/internal/hazard"
+	"repro/internal/monitor"
+	"repro/internal/scenarios"
+	"repro/internal/temporal"
+	"repro/internal/vehicle"
+)
+
+// ---------------------------------------------------------------------------
+// Chapter 2 baselines (Figures 2.2 and 2.3)
+// ---------------------------------------------------------------------------
+
+func BenchmarkTableFig2_2_FaultTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tree := hazard.VehicleUnintendedAccelerationTree()
+		_ = tree.TopProbability()
+		cuts := tree.MinimalCutSets()
+		if len(cuts) == 0 {
+			b.Fatal("no cut sets")
+		}
+		_ = tree.Render()
+	}
+}
+
+func BenchmarkTableFig2_3_FMEA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := hazard.VehicleRadarFMEA()
+		_ = f.HighestRisk(3)
+		_ = f.Render()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chapter 3 (Tables 3.1/3.2, Figures 3.1-3.6)
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable3_1_AndReduction(b *testing.B) {
+	space := goals.BooleanStateSpace("A", "B", "C", "D", "E")
+	red := goals.AndReduction{
+		Parent: goals.MustParse("G", "", "A => B"),
+		Subgoals: []goals.Goal{
+			goals.MustParse("G1", "", "A => C"),
+			goals.MustParse("G2", "", "C => D"),
+			goals.MustParse("G3", "", "D => B"),
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !goals.CheckAndReduction(red, space).Complete() {
+			b.Fatal("reduction should be complete")
+		}
+	}
+}
+
+func BenchmarkFigure3_Composability(b *testing.B) {
+	space := goals.BooleanStateSpace("ObjectInPath", "Detected", "CAStop", "ACCStop", "StopVehicle")
+	d := core.Decomposition{
+		Parent: goals.MustParse("G", "", "ObjectInPath => StopVehicle"),
+		Reductions: [][]goals.Goal{
+			{goals.MustParse("G1a", "", "ObjectInPath => CAStop"), goals.MustParse("G1b", "", "CAStop => StopVehicle")},
+			{goals.MustParse("G2a", "", "ObjectInPath => ACCStop"), goals.MustParse("G2b", "", "ACCStop => StopVehicle")},
+		},
+		Assumptions: []temporal.Formula{
+			temporal.MustParse("StopVehicle => (CAStop | ACCStop)"),
+			temporal.MustParse("CAStop => ObjectInPath"),
+			temporal.MustParse("ACCStop => ObjectInPath"),
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.Classify(d, space).Class != core.FullyComposableWithRedundancy {
+			b.Fatal("unexpected classification")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chapter 4 (Tables 4.1-4.5, Appendix B)
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable4_1_IndirectControlPaths(b *testing.B) {
+	model := elevator.Model()
+	goal := elevator.Goals().MustGet(elevator.GoalDoorClosedOrStopped)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths := model.IndirectControlPaths(goal, 0)
+		if len(paths) != 2 {
+			b.Fatal("expected two control paths")
+		}
+	}
+}
+
+func BenchmarkTable4_3_GoalElaboration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := elevator.DoorDriveICPA()
+		if len(a.Subgoals) != 2 {
+			b.Fatal("expected the Table 4.4 subgoals")
+		}
+		_ = a.Render()
+	}
+}
+
+func BenchmarkTable4_4_Subgoals(b *testing.B) {
+	a := elevator.DoorDriveICPA()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := a.CheckRealizability()
+		for _, r := range res {
+			if !r.Realizable {
+				b.Fatal("Table 4.4 subgoals should be realizable")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4_5_Realizability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := core.Table4_5()
+		if len(tables) != 3 {
+			b.Fatal("expected three variants")
+		}
+	}
+}
+
+func BenchmarkAppendixB_RealizabilityPatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := core.AppendixBTables()
+		if len(tables) != 15 {
+			b.Fatal("expected 15 tables")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chapter 4 evaluation on the elevator substrate
+// ---------------------------------------------------------------------------
+
+func benchmarkElevatorScenario(b *testing.B, sc elevator.Scenario, wantHit, wantFP bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := elevator.Run(sc)
+		if wantHit && res.Summary.Hits == 0 {
+			b.Fatal("expected a hit")
+		}
+		if wantFP && res.Summary.FalsePositives == 0 {
+			b.Fatal("expected a false positive")
+		}
+	}
+}
+
+func BenchmarkElevatorNominal(b *testing.B) {
+	benchmarkElevatorScenario(b, elevator.NominalScenario(), false, false)
+}
+
+func BenchmarkElevatorDoorDefect(b *testing.B) {
+	benchmarkElevatorScenario(b, elevator.DoorDefectScenario(), true, false)
+}
+
+func BenchmarkElevatorHoistwayRedundancy(b *testing.B) {
+	benchmarkElevatorScenario(b, elevator.HoistwayDefectScenario(), false, true)
+}
+
+// ---------------------------------------------------------------------------
+// Chapter 5 (Tables 5.1-5.3, Appendix C)
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable5_1_GoalDefinitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := scenarios.VehicleGoals()
+		if r.Len() != 9 {
+			b.Fatal("expected nine goals")
+		}
+	}
+}
+
+func BenchmarkTable5_3_MonitoringLocations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plan := scenarios.MonitoringPlan()
+		if len(plan) != 9 {
+			b.Fatal("expected nine hierarchies")
+		}
+		_ = scenarios.RenderTable5_3()
+	}
+}
+
+func BenchmarkAppendixC_VehicleICPA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		analyses := scenarios.AppendixCAnalyses()
+		if len(analyses) != 9 {
+			b.Fatal("expected nine analyses")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Appendix D (Tables D.1-D.11): one benchmark per scenario run
+// ---------------------------------------------------------------------------
+
+func benchmarkScenario(b *testing.B, number int) {
+	b.Helper()
+	sc, ok := scenarios.ScenarioByNumber(number)
+	if !ok {
+		b.Fatalf("no scenario %d", number)
+	}
+	for i := 0; i < b.N; i++ {
+		res := scenarios.Run(sc)
+		_ = scenarios.RenderViolationTable(res)
+	}
+}
+
+func BenchmarkTableD1_Scenario1(b *testing.B)   { benchmarkScenario(b, 1) }
+func BenchmarkTableD2_Scenario2(b *testing.B)   { benchmarkScenario(b, 2) }
+func BenchmarkTableD3_Scenario3(b *testing.B)   { benchmarkScenario(b, 3) }
+func BenchmarkTableD4_Scenario4(b *testing.B)   { benchmarkScenario(b, 4) }
+func BenchmarkTableD5_Scenario5(b *testing.B)   { benchmarkScenario(b, 5) }
+func BenchmarkTableD6_Scenario6(b *testing.B)   { benchmarkScenario(b, 6) }
+func BenchmarkTableD8_Scenario7(b *testing.B)   { benchmarkScenario(b, 7) }
+func BenchmarkTableD9_Scenario8(b *testing.B)   { benchmarkScenario(b, 8) }
+func BenchmarkTableD10_Scenario9(b *testing.B)  { benchmarkScenario(b, 9) }
+func BenchmarkTableD11_Scenario10(b *testing.B) { benchmarkScenario(b, 10) }
+
+// BenchmarkAblation_CorrectedScenario2 is the ablation of DESIGN.md: the
+// same scenario run with every seeded defect removed, showing how much of
+// the violation structure is attributable to the thesis' documented defects.
+func BenchmarkAblation_CorrectedScenario2(b *testing.B) {
+	sc, _ := scenarios.ScenarioByNumber(2)
+	for i := 0; i < b.N; i++ {
+		res := scenarios.RunCorrected(sc)
+		if res.Collision {
+			b.Fatal("the corrected system should avoid the collision")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5.2-5.15 and the classification machinery
+// ---------------------------------------------------------------------------
+
+func BenchmarkFigures5_SeriesExtraction(b *testing.B) {
+	sc, _ := scenarios.ScenarioByNumber(1)
+	res := scenarios.Run(sc)
+	figs := scenarios.Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range figs {
+			if f.Scenario == 1 {
+				_ = scenarios.FigureSeries(res, f)
+			}
+		}
+	}
+}
+
+func BenchmarkViolationClassification(b *testing.B) {
+	sc, _ := scenarios.ScenarioByNumber(2)
+	res := scenarios.Run(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.Suite.Classify()
+		_ = res.Suite.Summary()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring substrate micro-benchmarks
+// ---------------------------------------------------------------------------
+
+func BenchmarkTemporalStepper(b *testing.B) {
+	formula := temporal.MustParse(
+		"(prevfor[500ms](Stopped) & !prevwithin[500ms](Throttle) & FromSubsystem) => Accel <= 0.05")
+	stepper := temporal.MustCompile(formula, time.Millisecond)
+	state := temporal.NewState().
+		SetBool("Stopped", true).SetBool("Throttle", false).
+		SetBool("FromSubsystem", true).SetNumber("Accel", 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stepper.Step(state)
+	}
+}
+
+func BenchmarkMonitorObserve(b *testing.B) {
+	g := scenarios.VehicleGoals().MustGet(scenarios.Goal1AutoAccel)
+	m := monitor.MustNew(g, "Vehicle", time.Millisecond)
+	state := temporal.NewState().
+		SetBool(vehicle.SigAccelFromSubsystem, true).
+		SetNumber(vehicle.SigVehicleAccel, 1.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(state)
+	}
+}
+
+func BenchmarkSuiteObserveFullPlan(b *testing.B) {
+	suite := scenarios.BuildSuite(time.Millisecond)
+	state := temporal.NewState().
+		SetBool(vehicle.SigAccelFromSubsystem, true).
+		SetNumber(vehicle.SigVehicleAccel, 1.2).
+		SetNumber(vehicle.SigVehicleJerk, 0.5).
+		SetBool(vehicle.SigAccelSteeringAgreement, true).
+		SetBool(vehicle.SigVehicleStopped, false).
+		SetBool(vehicle.SigInForwardMotion, true)
+	for _, f := range vehicle.FeatureNames {
+		state.SetNumber(vehicle.SigAccelRequest(f), 0.5)
+		state.SetNumber(vehicle.SigRequestJerk(f), 0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite.Observe(state)
+	}
+}

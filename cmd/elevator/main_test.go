@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSingleScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "nominal", "-v"}); err != nil {
+		t.Fatalf("run(nominal): %v", err)
+	}
+}
+
+func TestRunWithICPA(t *testing.T) {
+	if err := run([]string{"-scenario", "door-defect", "-icpa"}); err != nil {
+		t.Fatalf("run(door-defect, -icpa): %v", err)
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "does-not-exist"}); err == nil {
+		t.Fatal("unknown scenario should be an error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flags should be an error")
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run(-list): %v", err)
+	}
+}
+
+func TestRunSingleFigureToDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-id", "5.12", "-dir", dir}); err != nil {
+		t.Fatalf("run(-id 5.12): %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure-5_12.csv"))
+	if err != nil {
+		t.Fatalf("expected the figure CSV to be written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("figure CSV is empty")
+	}
+}
+
+func TestRunSingleFigureToStdout(t *testing.T) {
+	if err := run([]string{"-id", "5.12"}); err != nil {
+		t.Fatalf("run(-id 5.12 to stdout): %v", err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-id", "99.9"}); err == nil {
+		t.Fatal("unknown figure id should be an error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flags should be an error")
+	}
+}

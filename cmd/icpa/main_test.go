@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunElevatorAnalyses(t *testing.T) {
+	if err := run([]string{"-system", "elevator", "-verify", "-lessons"}); err != nil {
+		t.Fatalf("run(elevator): %v", err)
+	}
+}
+
+func TestRunVehicleAnalyses(t *testing.T) {
+	if err := run([]string{"-system", "vehicle", "-goal", "AutoAccel"}); err != nil {
+		t.Fatalf("run(vehicle): %v", err)
+	}
+}
+
+func TestRunPatternsAndHazards(t *testing.T) {
+	if err := run([]string{"-system", "elevator", "-patterns", "-hazard"}); err != nil {
+		t.Fatalf("run(patterns+hazard): %v", err)
+	}
+}
+
+func TestRunUnknownSystem(t *testing.T) {
+	if err := run([]string{"-system", "spaceship"}); err == nil {
+		t.Fatal("unknown system should be an error")
+	}
+}
+
+func TestRunUnknownGoal(t *testing.T) {
+	if err := run([]string{"-system", "elevator", "-goal", "NoSuchGoal"}); err == nil {
+		t.Fatal("unknown goal filter should be an error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flags should be an error")
+	}
+}

@@ -1,0 +1,71 @@
+// Command scenarios runs the ten semi-autonomous-vehicle evaluation
+// scenarios of thesis Section 5.4 with the full Table 5.3 monitoring suite
+// and prints the Appendix D violation tables, the hit / false-negative /
+// false-positive classification and the cross-scenario summary.
+//
+// Usage:
+//
+//	scenarios [-n number] [-detail] [-table53] [-goals]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenarios"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	number := fs.Int("n", 0, "run only the given thesis scenario number (1-10)")
+	detail := fs.Bool("detail", false, "print per-detection classification details")
+	table53 := fs.Bool("table53", false, "print the Table 5.3 monitoring-location matrix")
+	showGoals := fs.Bool("goals", false, "print the nine system safety goals (Tables 5.1/5.2)")
+	corrected := fs.Bool("corrected", false, "ablation: run with every seeded defect removed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := scenarios.Options{CorrectDefects: *corrected}
+
+	if *showGoals {
+		for _, g := range scenarios.VehicleGoals().All() {
+			fmt.Println(g.String())
+			fmt.Println()
+		}
+	}
+	if *table53 {
+		fmt.Println(scenarios.RenderTable5_3())
+	}
+
+	var results []scenarios.Result
+	if *number != 0 {
+		sc, ok := scenarios.ScenarioByNumber(*number)
+		if !ok {
+			return fmt.Errorf("no scenario numbered %d", *number)
+		}
+		results = append(results, scenarios.RunWithOptions(sc, opts))
+	} else {
+		for _, sc := range scenarios.Scenarios() {
+			results = append(results, scenarios.RunWithOptions(sc, opts))
+		}
+	}
+
+	for _, r := range results {
+		fmt.Println(scenarios.RenderViolationTable(r))
+		if *detail {
+			fmt.Println(scenarios.RenderClassificationDetail(r))
+		}
+	}
+	if len(results) > 1 {
+		fmt.Println(scenarios.RenderSummary(results))
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSingleScenario(t *testing.T) {
+	if err := run([]string{"-n", "7"}); err != nil {
+		t.Fatalf("run(-n 7): %v", err)
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run([]string{"-n", "99"}); err == nil {
+		t.Fatal("unknown scenario number should be an error")
+	}
+}
+
+func TestRunTablesAndGoals(t *testing.T) {
+	if err := run([]string{"-n", "7", "-table53", "-goals", "-detail"}); err != nil {
+		t.Fatalf("run with table/goal flags: %v", err)
+	}
+}
+
+func TestRunCorrectedFlag(t *testing.T) {
+	if err := run([]string{"-n", "7", "-corrected"}); err != nil {
+		t.Fatalf("run(-corrected): %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flags should be an error")
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a Go reproduction of "System Safety as an Emergent
+// Property in Composite Systems" (Jennifer A. Black, Carnegie Mellon
+// University, 2009).
+//
+// The library implements the thesis' three contributions — the formal
+// framework for composable and emergent safety goals, Indirect Control Path
+// Analysis (ICPA), and hierarchical run-time safety-goal monitoring —
+// together with every substrate the evaluation depends on: a past-time
+// temporal-logic engine, KAOS-style goals and agents, traditional hazard
+// analysis baselines (PHA, FTA, FMEA), a fixed-step simulation kernel, the
+// Chapter 4 distributed elevator and the Chapter 5 semi-autonomous vehicle
+// with its ten evaluation scenarios.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for the paper-versus-measured
+// comparison.  The benchmarks in bench_test.go regenerate every table and
+// figure of the thesis' evaluation.
+package repro

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/goals"
+	"repro/internal/temporal"
+)
+
+// VariableKind classifies a system state variable by how it is produced,
+// which determines where an indirect control path continues (thesis §4.2,
+// Figure 4.4).
+type VariableKind int
+
+// Variable kinds.
+const (
+	// VarSensed is produced by a sensor observing the physical system
+	// (e.g. ElevatorSpeed, DoorClosed, VehicleAcceleration).
+	VarSensed VariableKind = iota + 1
+	// VarActuated is a physical quantity changed by an actuator after an
+	// actuation delay (e.g. DriveSpeed, door position).
+	VarActuated
+	// VarCommand is an actuation signal or set point produced by a
+	// software agent (e.g. DriveCommand, AccelerationCommand).
+	VarCommand
+	// VarShared is a shared variable or network message between software
+	// agents (e.g. DispatchRequest, AccelerationRequest).
+	VarShared
+	// VarEnvironmental is controlled by an environmental agent outside the
+	// design (e.g. ThrottlePedal, DoorBlocked).
+	VarEnvironmental
+)
+
+// String names the variable kind.
+func (k VariableKind) String() string {
+	switch k {
+	case VarSensed:
+		return "sensed"
+	case VarActuated:
+		return "actuated"
+	case VarCommand:
+		return "command"
+	case VarShared:
+		return "shared"
+	case VarEnvironmental:
+		return "environmental"
+	default:
+		return "unknown"
+	}
+}
+
+// Variable is a named system state variable with its kind and description.
+type Variable struct {
+	// Name is the variable name as used in goal formulas.
+	Name string
+	// Kind classifies how the variable is produced.
+	Kind VariableKind
+	// Description is free text shown in ICPA tables.
+	Description string
+}
+
+// SystemModel is the functional decomposition an ICPA runs against: the
+// agents (subsystems, actuators, sensors, environmental agents), the state
+// variables they monitor and control, and the formally defined
+// indirect-control relationships among those variables.
+type SystemModel struct {
+	// Name identifies the modelled system.
+	Name string
+
+	agents     map[string]goals.Agent
+	agentOrder []string
+	vars       map[string]Variable
+	varOrder   []string
+}
+
+// NewSystemModel returns an empty system model.
+func NewSystemModel(name string) *SystemModel {
+	return &SystemModel{
+		Name:   name,
+		agents: make(map[string]goals.Agent),
+		vars:   make(map[string]Variable),
+	}
+}
+
+// AddAgent registers an agent (replacing any previous agent with the same
+// name) and implicitly registers its variables if they are unknown.
+func (m *SystemModel) AddAgent(a goals.Agent) {
+	if _, ok := m.agents[a.Name]; !ok {
+		m.agentOrder = append(m.agentOrder, a.Name)
+	}
+	m.agents[a.Name] = a
+	for _, v := range a.Controls {
+		m.ensureVariable(v, defaultKindFor(a.Kind))
+	}
+	for _, v := range a.Monitors {
+		m.ensureVariable(v, VarShared)
+	}
+}
+
+func defaultKindFor(k goals.AgentKind) VariableKind {
+	switch k {
+	case goals.KindSensor:
+		return VarSensed
+	case goals.KindActuator:
+		return VarActuated
+	case goals.KindEnvironment:
+		return VarEnvironmental
+	default:
+		return VarCommand
+	}
+}
+
+func (m *SystemModel) ensureVariable(name string, kind VariableKind) {
+	if _, ok := m.vars[name]; ok {
+		return
+	}
+	m.vars[name] = Variable{Name: name, Kind: kind}
+	m.varOrder = append(m.varOrder, name)
+}
+
+// AddVariable registers (or refines) a variable's kind and description.
+func (m *SystemModel) AddVariable(v Variable) {
+	if _, ok := m.vars[v.Name]; !ok {
+		m.varOrder = append(m.varOrder, v.Name)
+	}
+	m.vars[v.Name] = v
+}
+
+// Agent returns the named agent.
+func (m *SystemModel) Agent(name string) (goals.Agent, bool) {
+	a, ok := m.agents[name]
+	return a, ok
+}
+
+// Agents returns all agents in registration order.
+func (m *SystemModel) Agents() []goals.Agent {
+	out := make([]goals.Agent, 0, len(m.agentOrder))
+	for _, n := range m.agentOrder {
+		out = append(out, m.agents[n])
+	}
+	return out
+}
+
+// Variable returns metadata for a variable.
+func (m *SystemModel) Variable(name string) (Variable, bool) {
+	v, ok := m.vars[name]
+	return v, ok
+}
+
+// Variables returns all known variables in registration order.
+func (m *SystemModel) Variables() []Variable {
+	out := make([]Variable, 0, len(m.varOrder))
+	for _, n := range m.varOrder {
+		out = append(out, m.vars[n])
+	}
+	return out
+}
+
+// DirectControllers returns the agents that directly control the variable.
+// Unlike strict KAOS controllability, more than one agent may directly
+// control a variable (thesis §4.2): e.g. every hall-button controller sends
+// the same hall-call message type.
+func (m *SystemModel) DirectControllers(variable string) []goals.Agent {
+	var out []goals.Agent
+	for _, n := range m.agentOrder {
+		a := m.agents[n]
+		if a.CanControl(variable) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Observers returns the agents that monitor the variable.
+func (m *SystemModel) Observers(variable string) []goals.Agent {
+	var out []goals.Agent
+	for _, n := range m.agentOrder {
+		a := m.agents[n]
+		if a.CanMonitor(variable) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ControlSource is one stop along an indirect control path: an agent that
+// influences the root variable, the level of indirection at which it was
+// found (1 = nearest the root variable) and the on-path variables it
+// directly controls.
+type ControlSource struct {
+	// Agent is the influencing agent's name.
+	Agent string
+	// Kind is the agent's kind.
+	Kind goals.AgentKind
+	// Level is the indirection distance from the root variable (1 is the
+	// direct/nearest control source).
+	Level int
+	// Controls lists the on-path variables this agent directly controls.
+	Controls []string
+	// Inputs lists the variables this agent monitors, i.e. where the path
+	// continues outward.
+	Inputs []string
+}
+
+// ControlPath is the indirect control path of one goal variable: every
+// agent that directly or indirectly influences it, by level.
+type ControlPath struct {
+	// Variable is the root state variable from the system safety goal.
+	Variable string
+	// Sources are the agents along the path, ordered by level then name.
+	Sources []ControlSource
+}
+
+// SourcesAtLevel returns the path's control sources at the given level.
+func (p ControlPath) SourcesAtLevel(level int) []ControlSource {
+	var out []ControlSource
+	for _, s := range p.Sources {
+		if s.Level == level {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MaxLevel returns the deepest indirection level on the path (0 when empty).
+func (p ControlPath) MaxLevel() int {
+	max := 0
+	for _, s := range p.Sources {
+		if s.Level > max {
+			max = s.Level
+		}
+	}
+	return max
+}
+
+// AgentNames returns the names of all agents on the path, sorted.
+func (p ControlPath) AgentNames() []string {
+	out := make([]string, 0, len(p.Sources))
+	for _, s := range p.Sources {
+		out = append(out, s.Agent)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the path compactly.
+func (p ControlPath) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", p.Variable)
+	for _, s := range p.Sources {
+		fmt.Fprintf(&b, " [L%d %s -> %s]", s.Level, s.Agent, strings.Join(s.Controls, ","))
+	}
+	return b.String()
+}
+
+// IndirectControlPath traces the indirect control path of one variable
+// (ICPA step 2, thesis §4.4.1): the direct controllers of the variable form
+// level 1; the controllers of those agents' monitored variables form level
+// 2; and so on outward, up to maxDepth levels (0 means unlimited).  Cycles
+// are cut by visiting each agent at most once, at its shallowest level.
+func (m *SystemModel) IndirectControlPath(variable string, maxDepth int) ControlPath {
+	path := ControlPath{Variable: variable}
+	visitedAgents := make(map[string]bool)
+	frontier := map[string]bool{variable: true}
+	level := 0
+
+	for len(frontier) > 0 {
+		level++
+		if maxDepth > 0 && level > maxDepth {
+			break
+		}
+		// Collect agents controlling any frontier variable.
+		type hit struct {
+			agent    goals.Agent
+			controls map[string]bool
+		}
+		hits := make(map[string]*hit)
+		for _, name := range m.agentOrder {
+			a := m.agents[name]
+			if visitedAgents[name] {
+				continue
+			}
+			for v := range frontier {
+				if a.CanControl(v) {
+					h, ok := hits[name]
+					if !ok {
+						h = &hit{agent: a, controls: make(map[string]bool)}
+						hits[name] = h
+					}
+					h.controls[v] = true
+				}
+			}
+		}
+		if len(hits) == 0 {
+			break
+		}
+		names := make([]string, 0, len(hits))
+		for n := range hits {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+
+		next := make(map[string]bool)
+		for _, n := range names {
+			h := hits[n]
+			visitedAgents[n] = true
+			controls := make([]string, 0, len(h.controls))
+			for v := range h.controls {
+				controls = append(controls, v)
+			}
+			sort.Strings(controls)
+			src := ControlSource{
+				Agent:    n,
+				Kind:     h.agent.Kind,
+				Level:    level,
+				Controls: controls,
+				Inputs:   append([]string(nil), h.agent.Monitors...),
+			}
+			path.Sources = append(path.Sources, src)
+			for _, v := range h.agent.Monitors {
+				next[v] = true
+			}
+		}
+		frontier = next
+	}
+	return path
+}
+
+// IndirectControlPaths traces the indirect control paths of every state
+// variable referenced by the goal's formal definition.
+func (m *SystemModel) IndirectControlPaths(g goals.Goal, maxDepth int) []ControlPath {
+	var out []ControlPath
+	for _, v := range g.Vars() {
+		out = append(out, m.IndirectControlPath(v, maxDepth))
+	}
+	return out
+}
+
+// InfluencingAgents returns the names of every agent that directly or
+// indirectly influences any variable of the goal, sorted.
+func (m *SystemModel) InfluencingAgents(g goals.Goal, maxDepth int) []string {
+	seen := make(map[string]struct{})
+	for _, p := range m.IndirectControlPaths(g, maxDepth) {
+		for _, s := range p.Sources {
+			seen[s.Agent] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ControlRelationship is one numbered, formally defined indirect control
+// relationship recorded during ICPA step 3 (thesis §4.4.2).  Relationships
+// become critical assumptions of the decomposition when referenced by the
+// goal elaboration.
+type ControlRelationship struct {
+	// ID is the relationship number used to reference it from the goal
+	// elaboration section of the ICPA table.
+	ID int
+	// Variable is the parent-goal variable whose path this relationship
+	// belongs to.
+	Variable string
+	// Subsystems are the agents whose variables the relationship relates.
+	Subsystems []string
+	// Formula is the formal definition of the relationship.
+	Formula temporal.Formula
+	// Comment is the natural-language reading shown in the ICPA table.
+	Comment string
+}
+
+// String renders the relationship as an ICPA table row.
+func (r ControlRelationship) String() string {
+	return fmt.Sprintf("%02d  %s\n    %% %s", r.ID, r.Formula, r.Comment)
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/goals"
+)
+
+// miniElevatorModel builds a reduced version of the Figure 4.5 distributed
+// elevator control system, sufficient to exercise path tracing.
+func miniElevatorModel() *SystemModel {
+	m := NewSystemModel("distributed elevator (partial)")
+
+	m.AddAgent(goals.NewAgent("ElevatorSpeedSensor", goals.KindSensor,
+		[]string{"DriveSpeed"}, []string{"ElevatorSpeed"}))
+	m.AddAgent(goals.NewAgent("DoorClosedSensor", goals.KindSensor,
+		[]string{"DoorPosition"}, []string{"DoorClosed"}))
+	m.AddAgent(goals.NewAgent("Drive", goals.KindActuator,
+		[]string{"DriveCommand"}, []string{"DriveSpeed"}))
+	m.AddAgent(goals.NewAgent("DoorMotor", goals.KindActuator,
+		[]string{"DoorMotorCommand", "DoorBlocked"}, []string{"DoorPosition"}))
+	// The base functional design of Figure 4.5: DriveController acts on
+	// dispatch requests only; the cross-monitoring of DoorClosed and
+	// DriveCommand is introduced later by the Table 4.4 subgoals.
+	m.AddAgent(goals.NewAgent("DriveController", goals.KindSoftware,
+		[]string{"DispatchRequest"}, []string{"DriveCommand"}))
+	m.AddAgent(goals.NewAgent("DoorController", goals.KindSoftware,
+		[]string{"DispatchRequest", "DoorBlocked"}, []string{"DoorMotorCommand"}))
+	m.AddAgent(goals.NewAgent("DispatchController", goals.KindSoftware,
+		[]string{"HallCall", "CarCall"}, []string{"DispatchRequest"}))
+	m.AddAgent(goals.NewAgent("CarButtonController", goals.KindSoftware,
+		[]string{"CarButtonPress"}, []string{"CarCall"}))
+	m.AddAgent(goals.NewAgent("HallButtonController", goals.KindSoftware,
+		[]string{"HallButtonPress"}, []string{"HallCall"}))
+	m.AddAgent(goals.NewAgent("Passenger", goals.KindEnvironment,
+		nil, []string{"DoorBlocked", "CarButtonPress", "HallButtonPress", "ElevatorWeight"}))
+
+	m.AddVariable(Variable{Name: "ElevatorSpeed", Kind: VarSensed, Description: "sensed elevator speed"})
+	m.AddVariable(Variable{Name: "DoorClosed", Kind: VarSensed, Description: "sensed door-closed state"})
+	m.AddVariable(Variable{Name: "DriveCommand", Kind: VarCommand, Description: "drive actuation signal"})
+	return m
+}
+
+func TestVariableKindString(t *testing.T) {
+	for k, want := range map[VariableKind]string{
+		VarSensed: "sensed", VarActuated: "actuated", VarCommand: "command",
+		VarShared: "shared", VarEnvironmental: "environmental", VariableKind(0): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("VariableKind.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSystemModelAgentsAndVariables(t *testing.T) {
+	m := miniElevatorModel()
+	if got := len(m.Agents()); got != 10 {
+		t.Errorf("Agents() len = %d, want 10", got)
+	}
+	if _, ok := m.Agent("DriveController"); !ok {
+		t.Error("DriveController should be registered")
+	}
+	if _, ok := m.Agent("Nobody"); ok {
+		t.Error("unknown agent lookup should fail")
+	}
+	v, ok := m.Variable("ElevatorSpeed")
+	if !ok || v.Kind != VarSensed {
+		t.Errorf("Variable(ElevatorSpeed) = %+v, ok=%v", v, ok)
+	}
+	if len(m.Variables()) == 0 {
+		t.Error("Variables() should not be empty")
+	}
+	// Re-adding an agent replaces rather than duplicates.
+	m.AddAgent(goals.NewAgent("Passenger", goals.KindEnvironment, nil, []string{"DoorBlocked"}))
+	if got := len(m.Agents()); got != 10 {
+		t.Errorf("after re-add, Agents() len = %d, want 10", got)
+	}
+}
+
+func TestDirectControllersAndObservers(t *testing.T) {
+	m := miniElevatorModel()
+	dc := m.DirectControllers("DriveCommand")
+	if len(dc) != 1 || dc[0].Name != "DriveController" {
+		t.Errorf("DirectControllers(DriveCommand) = %v", dc)
+	}
+	obs := m.Observers("DriveCommand")
+	names := make([]string, len(obs))
+	for i, a := range obs {
+		names[i] = a.Name
+	}
+	want := []string{"Drive"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("Observers(DriveCommand) = %v, want %v", names, want)
+	}
+	if got := m.DirectControllers("NoSuchVariable"); len(got) != 0 {
+		t.Errorf("DirectControllers(NoSuchVariable) = %v", got)
+	}
+}
+
+func TestIndirectControlPathElevatorSpeed(t *testing.T) {
+	// Thesis §4.4.1: the control path of ElevatorSpeed contains Drive,
+	// DriveController, DispatchController, CarButtonController and
+	// HallButtonController (plus the sensor that produces the variable).
+	m := miniElevatorModel()
+	p := m.IndirectControlPath("ElevatorSpeed", 0)
+
+	if p.Variable != "ElevatorSpeed" {
+		t.Errorf("Variable = %q", p.Variable)
+	}
+	got := p.AgentNames()
+	want := []string{
+		"CarButtonController", "DispatchController", "Drive", "DriveController",
+		"ElevatorSpeedSensor", "HallButtonController", "Passenger",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AgentNames() = %v, want %v", got, want)
+	}
+
+	// Levels: sensor at 1, Drive at 2, DriveController at 3,
+	// DispatchController at 4, button controllers at 5, Passenger at 6.
+	levelOf := func(agent string) int {
+		for _, s := range p.Sources {
+			if s.Agent == agent {
+				return s.Level
+			}
+		}
+		return -1
+	}
+	for agent, level := range map[string]int{
+		"ElevatorSpeedSensor":  1,
+		"Drive":                2,
+		"DriveController":      3,
+		"DispatchController":   4,
+		"CarButtonController":  5,
+		"HallButtonController": 5,
+		"Passenger":            6,
+	} {
+		if got := levelOf(agent); got != level {
+			t.Errorf("level of %s = %d, want %d", agent, got, level)
+		}
+	}
+	if p.MaxLevel() != 6 {
+		t.Errorf("MaxLevel() = %d, want 6", p.MaxLevel())
+	}
+	if got := len(p.SourcesAtLevel(5)); got != 2 {
+		t.Errorf("SourcesAtLevel(5) = %d sources, want 2", got)
+	}
+	if !strings.Contains(p.String(), "ElevatorSpeed:") {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestIndirectControlPathBranching(t *testing.T) {
+	// DoorClosed has a branched path: DoorMotor/DoorController on one
+	// branch and the Passenger (via DoorBlocked) on another.
+	m := miniElevatorModel()
+	p := m.IndirectControlPath("DoorClosed", 0)
+	agents := p.AgentNames()
+	for _, want := range []string{"DoorClosedSensor", "DoorMotor", "DoorController", "Passenger", "DispatchController"} {
+		found := false
+		for _, a := range agents {
+			if a == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("path of DoorClosed should include %s, got %v", want, agents)
+		}
+	}
+	// The Passenger is reached at level 3 (sensor -> door motor -> passenger
+	// via DoorBlocked), before the button-press branch would reach it again;
+	// each agent appears exactly once at its shallowest level.
+	count := 0
+	for _, s := range p.Sources {
+		if s.Agent == "Passenger" {
+			count++
+			if s.Level != 3 {
+				t.Errorf("Passenger level = %d, want 3", s.Level)
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("Passenger should appear exactly once, got %d", count)
+	}
+}
+
+func TestIndirectControlPathMaxDepth(t *testing.T) {
+	m := miniElevatorModel()
+	p := m.IndirectControlPath("ElevatorSpeed", 2)
+	if p.MaxLevel() != 2 {
+		t.Errorf("MaxLevel() = %d, want 2 when maxDepth=2", p.MaxLevel())
+	}
+	if len(p.SourcesAtLevel(3)) != 0 {
+		t.Error("no sources should be recorded beyond maxDepth")
+	}
+}
+
+func TestIndirectControlPathUnknownVariable(t *testing.T) {
+	m := miniElevatorModel()
+	p := m.IndirectControlPath("NotAVariable", 0)
+	if len(p.Sources) != 0 {
+		t.Errorf("unknown variable should have an empty path, got %v", p.Sources)
+	}
+	if p.MaxLevel() != 0 {
+		t.Errorf("MaxLevel() = %d, want 0", p.MaxLevel())
+	}
+}
+
+func TestIndirectControlPathsForGoal(t *testing.T) {
+	m := miniElevatorModel()
+	g := goals.MustParse("Maintain[DoorClosedOrElevatorStopped]",
+		"At all times the door shall be closed or the elevator speed shall be STOPPED.",
+		"DoorClosed | ElevatorSpeed == 0")
+	paths := m.IndirectControlPaths(g, 0)
+	if len(paths) != 2 {
+		t.Fatalf("expected 2 paths (one per goal variable), got %d", len(paths))
+	}
+	agents := m.InfluencingAgents(g, 0)
+	if len(agents) < 8 {
+		t.Errorf("InfluencingAgents() = %v, expected most of the system", agents)
+	}
+}
+
+func TestControlRelationshipString(t *testing.T) {
+	r := ControlRelationship{
+		ID:       4,
+		Variable: "dc",
+		Formula:  goals.MustParse("", "", "prev(db) => !dc").Formal,
+		Comment:  "a blocked door shall not be closed",
+	}
+	s := r.String()
+	if !strings.Contains(s, "04") || !strings.Contains(s, "blocked door") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDefaultKindFor(t *testing.T) {
+	m := NewSystemModel("kinds")
+	m.AddAgent(goals.NewAgent("S", goals.KindSensor, nil, []string{"sv"}))
+	m.AddAgent(goals.NewAgent("A", goals.KindActuator, nil, []string{"av"}))
+	m.AddAgent(goals.NewAgent("E", goals.KindEnvironment, nil, []string{"ev"}))
+	m.AddAgent(goals.NewAgent("C", goals.KindSoftware, []string{"in"}, []string{"cv"}))
+	for name, kind := range map[string]VariableKind{
+		"sv": VarSensed, "av": VarActuated, "ev": VarEnvironmental, "cv": VarCommand, "in": VarShared,
+	} {
+		v, ok := m.Variable(name)
+		if !ok || v.Kind != kind {
+			t.Errorf("Variable(%s).Kind = %v, want %v", name, v.Kind, kind)
+		}
+	}
+}

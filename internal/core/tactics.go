@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/goals"
+	"repro/internal/temporal"
+)
+
+// TacticResult is the outcome of applying an elaboration tactic: the derived
+// subgoals and, where applicable, the domain property (critical assumption)
+// the derivation relies on.
+type TacticResult struct {
+	// Tactic identifies the applied tactic.
+	Tactic Tactic
+	// Subgoals are the derived subgoals.
+	Subgoals []goals.Goal
+	// Assumption is the domain property the derivation relies on, nil when
+	// none is needed.
+	Assumption temporal.Formula
+	// Restrictive reports whether the derived subgoals restrict behaviour
+	// beyond the parent goal.
+	Restrictive bool
+}
+
+// SplitByChaining applies the split-lack-of-monitorability/controllability
+// by chaining tactic (thesis Figure 4.2) to a goal of the form P ⇒ Q: given
+// an intermediate condition M, it produces the subgoals P ⇒ M and M ⇒ Q,
+// each potentially realizable by a different agent.
+func SplitByChaining(parent goals.Goal, middle temporal.Formula) (TacticResult, error) {
+	ant, con := temporal.Antecedent(parent.Formal), temporal.Consequent(parent.Formal)
+	if ant == nil || con == nil {
+		return TacticResult{}, fmt.Errorf("core: split by chaining requires an implication goal, got %q", parent.Formal)
+	}
+	return TacticResult{
+		Tactic: TacticSplitByChaining,
+		Subgoals: []goals.Goal{
+			{
+				Name:        parent.Name + "/chain-1",
+				InformalDef: "First link of the chained decomposition of " + parent.Name + ".",
+				Formal:      temporal.Implies(ant, middle),
+			},
+			{
+				Name:        parent.Name + "/chain-2",
+				InformalDef: "Second link of the chained decomposition of " + parent.Name + ".",
+				Formal:      temporal.Implies(middle, con),
+			},
+		},
+	}, nil
+}
+
+// SplitByCase applies the split-by-case tactic (thesis Figure 4.3) to a goal
+// P ⇒ Q: each case predicate f_i yields the subgoal (P ∧ f_i) ⇒ Q, and the
+// case-coverage condition P ⇒ (f_1 ∨ … ∨ f_n) is returned as the critical
+// assumption that the cases are exhaustive.
+func SplitByCase(parent goals.Goal, cases []temporal.Formula) (TacticResult, error) {
+	ant, con := temporal.Antecedent(parent.Formal), temporal.Consequent(parent.Formal)
+	if ant == nil || con == nil {
+		return TacticResult{}, fmt.Errorf("core: split by case requires an implication goal, got %q", parent.Formal)
+	}
+	if len(cases) == 0 {
+		return TacticResult{}, fmt.Errorf("core: split by case requires at least one case")
+	}
+	res := TacticResult{Tactic: TacticSplitByCase}
+	for i, c := range cases {
+		res.Subgoals = append(res.Subgoals, goals.Goal{
+			Name:        fmt.Sprintf("%s/case-%d", parent.Name, i+1),
+			InformalDef: fmt.Sprintf("Case %d of the case split of %s.", i+1, parent.Name),
+			Formal:      temporal.Implies(temporal.And(ant, c), con),
+		})
+	}
+	res.Assumption = temporal.Implies(ant, temporal.Or(cases...))
+	return res, nil
+}
+
+// IntroduceActuationGoal applies the introduce-accuracy/actuation-goal
+// tactic (thesis Figure 4.1): the uncontrollable (or unmonitorable) variable
+// `original` in the parent goal is related to a controllable/observable
+// variable `replacement` by an equivalence domain property, and the parent
+// goal is restated over the replacement variable.  The rewritten goal is
+// supplied by the caller because substitution depends on the goal's
+// structure; the tactic packages the pair with the equivalence assumption.
+func IntroduceActuationGoal(parent, rewritten goals.Goal, equivalence temporal.Formula, accuracy bool) TacticResult {
+	tactic := TacticIntroduceActuation
+	if accuracy {
+		tactic = TacticIntroduceAccuracy
+	}
+	return TacticResult{
+		Tactic:     tactic,
+		Subgoals:   []goals.Goal{rewritten},
+		Assumption: equivalence,
+	}
+}
+
+// InterlockSubgoals generates the coordinated-responsibility interlock
+// pattern of thesis Eqs. 4.14–4.15 for a safety goal of the form q(A ∨ B)
+// where A is indirectly controlled by agent agA and B by agent agB: each
+// agent may only negate its own condition when, in the previous state, its
+// interlock variable was set and the other agent's interlock variable was
+// not.
+//
+// The returned subgoals constrain the agents' conditions A and B using the
+// interlock variables lockA and lockB.
+func InterlockSubgoals(parentName string, condA, condB, lockA, lockB string) TacticResult {
+	a := temporal.Var(condA)
+	b := temporal.Var(condB)
+	la := temporal.Var(lockA)
+	lb := temporal.Var(lockB)
+	return TacticResult{
+		Tactic: TacticInterlock,
+		Subgoals: []goals.Goal{
+			{
+				Name:        parentName + "/interlock-A",
+				InformalDef: fmt.Sprintf("%s may be negated only when %s was set and %s was clear.", condA, lockA, lockB),
+				Formal:      temporal.Implies(temporal.Prev(temporal.Or(temporal.Not(la), lb)), a),
+			},
+			{
+				Name:        parentName + "/interlock-B",
+				InformalDef: fmt.Sprintf("%s may be negated only when %s was set and %s was clear.", condB, lockB, lockA),
+				Formal:      temporal.Implies(temporal.Prev(temporal.Or(temporal.Not(lb), la)), b),
+			},
+		},
+		Restrictive: true,
+	}
+}
+
+// LockoutSubgoals generates the lockout pattern of thesis Eqs. 4.27–4.30: a
+// lockout agent agB is added so that the hazardous condition C requires both
+// A (the primary agent's command) and B (the lockout permission); both
+// agents receive the subgoal of dropping their output within the reaction
+// window after the triggering condition D is observed.
+func LockoutSubgoals(parentName string, trigger, condA, condB string, window time.Duration) TacticResult {
+	d := temporal.Var(trigger)
+	return TacticResult{
+		Tactic: TacticLockout,
+		Subgoals: []goals.Goal{
+			{
+				Name:        parentName + "/lockout-primary",
+				InformalDef: fmt.Sprintf("If %s was observed within the reaction window, %s shall be withdrawn.", trigger, condA),
+				Formal:      temporal.Implies(temporal.PrevWithin(d, window), temporal.Not(temporal.Var(condA))),
+			},
+			{
+				Name:        parentName + "/lockout-guard",
+				InformalDef: fmt.Sprintf("If %s was observed within the reaction window, the lockout %s shall be withdrawn.", trigger, condB),
+				Formal:      temporal.Implies(temporal.PrevWithin(d, window), temporal.Not(temporal.Var(condB))),
+			},
+		},
+		// The shared indirect control relationship: C requires both A and B.
+		Assumption: temporal.Iff(
+			temporal.Var("C:"+parentName),
+			temporal.And(temporal.Prev(temporal.Var(condA)), temporal.Prev(temporal.Var(condB))),
+		),
+		Restrictive: true,
+	}
+}
+
+// SafetyMargin applies the safety-margin restriction (thesis Eq. 4.31): a
+// goal of the form q(v ≤ limit) is met by the subgoal q(req ≤ limit −
+// margin) on the requesting variable.  It returns false when the goal is not
+// a recognisable threshold goal.
+func SafetyMargin(parent goals.Goal, requestVar string, margin float64) (TacticResult, bool) {
+	sub, ok := SafetyEnvelope(parent, requestVar, margin)
+	if !ok {
+		return TacticResult{}, false
+	}
+	return TacticResult{
+		Tactic:      TacticSafetyMargin,
+		Subgoals:    []goals.Goal{sub},
+		Restrictive: margin > 0,
+	}, true
+}
+
+// ORReduction applies OR-reduction (thesis §3.3.5, §4.5.2) keeping only the
+// sub-formulas for which keep returns true, producing a single more
+// restrictive subgoal.  It returns false when no reduction applies.
+func ORReduction(parent goals.Goal, keep func(temporal.Formula) bool) (TacticResult, bool) {
+	sub, ok := ORReduceGoal(parent, keep)
+	if !ok {
+		return TacticResult{}, false
+	}
+	return TacticResult{
+		Tactic:      TacticORReduction,
+		Subgoals:    []goals.Goal{sub},
+		Restrictive: true,
+	}, true
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/goals"
+	"repro/internal/temporal"
+)
+
+func TestSplitByChaining(t *testing.T) {
+	parent := mustGoal("G", "P => Q")
+	res, err := SplitByChaining(parent, temporal.Var("M"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tactic != TacticSplitByChaining || len(res.Subgoals) != 2 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if res.Subgoals[0].Formal.String() != "(P) => (M)" || res.Subgoals[1].Formal.String() != "(M) => (Q)" {
+		t.Errorf("chained subgoals = %v / %v", res.Subgoals[0].Formal, res.Subgoals[1].Formal)
+	}
+	// The chained subgoals form a complete and-reduction of the parent.
+	space := goals.BooleanStateSpace("P", "Q", "M")
+	check := goals.CheckAndReduction(goals.AndReduction{Parent: parent, Subgoals: res.Subgoals}, space)
+	if !check.Complete() {
+		t.Errorf("chained decomposition should be a complete and-reduction: %s", check)
+	}
+
+	if _, err := SplitByChaining(mustGoal("G", "P & Q"), temporal.Var("M")); err == nil {
+		t.Error("chaining a non-implication goal should fail")
+	}
+}
+
+func TestSplitByCase(t *testing.T) {
+	parent := mustGoal("G", "P => Q")
+	cases := []temporal.Formula{temporal.Var("F1"), temporal.Var("F2")}
+	res, err := SplitByCase(parent, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subgoals) != 2 {
+		t.Fatalf("expected 2 case subgoals, got %d", len(res.Subgoals))
+	}
+	if res.Assumption == nil {
+		t.Fatal("case split must produce the case-coverage assumption")
+	}
+	// Under the coverage assumption, the case subgoals entail the parent.
+	space := goals.BooleanStateSpace("P", "Q", "F1", "F2")
+	d := Decomposition{
+		Parent:      parent,
+		Reductions:  [][]goals.Goal{res.Subgoals},
+		Assumptions: []temporal.Formula{res.Assumption},
+	}
+	if cls := Classify(d, space); !cls.SubgoalsSufficient {
+		t.Errorf("case subgoals with the coverage assumption must be sufficient: %s", cls)
+	}
+
+	if _, err := SplitByCase(parent, nil); err == nil {
+		t.Error("case split with no cases should fail")
+	}
+	if _, err := SplitByCase(mustGoal("G", "P | Q"), cases); err == nil {
+		t.Error("case split of a non-implication should fail")
+	}
+}
+
+func TestIntroduceActuationGoal(t *testing.T) {
+	parent := mustGoal("Maintain[ElevatorStopped]", "IsStopped_es")
+	rewritten := mustGoal("Maintain[DriveStopped]", "IsStopped_drs")
+	equivalence := temporal.MustParse("IsStopped_drs <=> IsStopped_es")
+
+	res := IntroduceActuationGoal(parent, rewritten, equivalence, false)
+	if res.Tactic != TacticIntroduceActuation {
+		t.Errorf("Tactic = %v", res.Tactic)
+	}
+	res2 := IntroduceActuationGoal(parent, rewritten, equivalence, true)
+	if res2.Tactic != TacticIntroduceAccuracy {
+		t.Errorf("Tactic = %v", res2.Tactic)
+	}
+	// Under the equivalence assumption, the rewritten goal entails the parent.
+	space := goals.BooleanStateSpace("IsStopped_es", "IsStopped_drs")
+	d := Decomposition{
+		Parent:      parent,
+		Reductions:  [][]goals.Goal{res.Subgoals},
+		Assumptions: []temporal.Formula{res.Assumption},
+	}
+	if cls := Classify(d, space); !cls.SubgoalsSufficient {
+		t.Errorf("actuation-goal rewrite must be sufficient under the equivalence: %s", cls)
+	}
+}
+
+func TestInterlockSubgoals(t *testing.T) {
+	res := InterlockSubgoals("Maintain[DoorClosedOrElevatorStopped]", "DoorClosed", "Stopped", "LockDoor", "LockDrive")
+	if res.Tactic != TacticInterlock || len(res.Subgoals) != 2 || !res.Restrictive {
+		t.Fatalf("unexpected interlock result: %+v", res)
+	}
+	for _, sg := range res.Subgoals {
+		if !strings.Contains(sg.Formal.String(), "prev(") {
+			t.Errorf("interlock subgoal should reference the previous state: %s", sg.Formal)
+		}
+	}
+	// The interlock subgoals keep the protected conditions true unless the
+	// opposite lock was observed: check on a short trace that honouring the
+	// locks maintains the parent invariant DoorClosed | Stopped.
+	period := time.Millisecond
+	tr := temporal.NewTrace(period)
+	states := []struct{ dc, st, la, lb bool }{
+		{true, true, false, false},
+		{true, true, true, false},  // door controller sets its lock
+		{false, true, true, false}, // then opens: drive stays stopped
+		{false, true, true, false},
+	}
+	for _, s := range states {
+		tr.Append(temporal.NewState().
+			SetBool("DoorClosed", s.dc).SetBool("Stopped", s.st).
+			SetBool("LockDoor", s.la).SetBool("LockDrive", s.lb))
+	}
+	parent := temporal.MustParse("DoorClosed | Stopped")
+	if !temporal.HoldsThroughout(parent, tr) {
+		t.Error("trace construction error: parent should hold")
+	}
+	for _, sg := range res.Subgoals {
+		// Subgoal B (drive side) must hold throughout this trace: the drive
+		// lock was never set while the door lock was.
+		if sg.Name == "Maintain[DoorClosedOrElevatorStopped]/interlock-B" {
+			if !temporal.HoldsThroughout(sg.Formal, tr) {
+				t.Errorf("drive-side interlock subgoal should hold on the compliant trace")
+			}
+		}
+	}
+}
+
+func TestLockoutSubgoals(t *testing.T) {
+	res := LockoutSubgoals("Avoid[Transmit]", "FaultDetected", "NodeTransmit", "GuardianEnable", 50*time.Millisecond)
+	if res.Tactic != TacticLockout || len(res.Subgoals) != 2 || !res.Restrictive {
+		t.Fatalf("unexpected lockout result: %+v", res)
+	}
+	if res.Assumption == nil {
+		t.Error("lockout must record the shared control relationship assumption")
+	}
+	// Both subgoals react to the trigger within the window.
+	tr := temporal.NewTrace(10 * time.Millisecond)
+	tr.Append(temporal.NewState().SetBool("FaultDetected", true).SetBool("NodeTransmit", true).SetBool("GuardianEnable", true))
+	tr.Append(temporal.NewState().SetBool("FaultDetected", false).SetBool("NodeTransmit", true).SetBool("GuardianEnable", false))
+	// At index 1, the fault was observed within 50ms, so NodeTransmit must be
+	// withdrawn: the primary subgoal is violated on this trace.
+	primary := res.Subgoals[0]
+	if primary.Formal.Eval(tr, 1) {
+		t.Error("primary lockout subgoal should be violated when transmit continues after a fault")
+	}
+	guard := res.Subgoals[1]
+	if !guard.Formal.Eval(tr, 1) {
+		t.Error("guard lockout subgoal should hold when the guardian withdrew its enable")
+	}
+}
+
+func TestSafetyMargin(t *testing.T) {
+	parent := mustGoal("Achieve[AutoAccelBelowThreshold]", "VehicleAcceleration <= 2")
+	res, ok := SafetyMargin(parent, "AccelerationRequest", 0.5)
+	if !ok {
+		t.Fatal("SafetyMargin should apply")
+	}
+	if res.Tactic != TacticSafetyMargin || !res.Restrictive {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	if res.Subgoals[0].Formal.String() != "AccelerationRequest <= 1.5" {
+		t.Errorf("margin subgoal = %s", res.Subgoals[0].Formal)
+	}
+	// Zero margin is allowed but not restrictive.
+	res0, ok := SafetyMargin(parent, "AccelerationRequest", 0)
+	if !ok || res0.Restrictive {
+		t.Errorf("zero margin should be non-restrictive: %+v", res0)
+	}
+	if _, ok := SafetyMargin(mustGoal("G", "A | B"), "x", 1); ok {
+		t.Error("SafetyMargin should not apply to non-threshold goals")
+	}
+}
+
+func TestORReductionTactic(t *testing.T) {
+	parent := mustGoal("G", "A | X")
+	res, ok := ORReduction(parent, func(f temporal.Formula) bool { return f.String() == "A" })
+	if !ok {
+		t.Fatal("ORReduction should apply")
+	}
+	if res.Tactic != TacticORReduction || !res.Restrictive || len(res.Subgoals) != 1 {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	if _, ok := ORReduction(mustGoal("G", "A => B"), func(temporal.Formula) bool { return true }); ok {
+		t.Error("ORReduction should not apply to a simple implication")
+	}
+}

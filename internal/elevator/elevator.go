@@ -1,0 +1,424 @@
+// Package elevator implements the distributed elevator control system used
+// throughout Chapter 4 of the thesis (Figure 4.5) as the worked example for
+// Indirect Control Path Analysis: door and drive controllers, a dispatcher,
+// call buttons, a passenger, actuators with realistic actuation delays and
+// the sensors that produce the goal state variables.
+//
+// The package also provides the elevator's safety-goal catalogue
+// (Figures 4.6–4.13 and Table 4.4), the ICPA system model behind
+// Tables 4.1–4.3, and ready-made simulation scenarios with hierarchical
+// run-time monitoring, including variants with seeded design defects that
+// the monitors detect.
+package elevator
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Bus signal names.  Goal formulas reference these names directly.
+const (
+	// SigDoorClosed is true when the door-closed sensor detects a fully
+	// closed door.
+	SigDoorClosed = "DoorClosed"
+	// SigDoorBlocked is true while the passenger blocks the doorway.
+	SigDoorBlocked = "DoorBlocked"
+	// SigDoorPosition is the door position: 0 fully open, 1 fully closed.
+	SigDoorPosition = "DoorPosition"
+	// SigDoorMotorCommand is the door motor actuation signal: OPEN or CLOSE.
+	SigDoorMotorCommand = "DoorMotorCommand"
+	// SigElevatorSpeed is the sensed car speed in m/s (positive upward).
+	SigElevatorSpeed = "ElevatorSpeed"
+	// SigElevatorStopped is the discretised is-stopped predicate published
+	// by the speed sensor.
+	SigElevatorStopped = "ElevatorStopped"
+	// SigElevatorPosition is the sensed car position in metres above the
+	// bottom landing.
+	SigElevatorPosition = "ElevatorPosition"
+	// SigDriveCommand is the drive actuation signal: GO or STOP.
+	SigDriveCommand = "DriveCommand"
+	// SigDriveTarget is the target car position commanded by the drive
+	// controller, in metres.
+	SigDriveTarget = "DriveTarget"
+	// SigElevatorWeight is the sensed car load in kilograms.
+	SigElevatorWeight = "ElevatorWeight"
+	// SigDispatchTarget is the dispatcher's requested destination floor
+	// (1-based; 0 when no destination is pending).
+	SigDispatchTarget = "DispatchTarget"
+	// SigCarCall is the floor requested from inside the car (0 when none).
+	SigCarCall = "CarCall"
+	// SigHallCall is the floor requested from a hallway (0 when none).
+	SigHallCall = "HallCall"
+	// SigEmergencyBrake is the emergency brake state: APPLIED or RELEASED.
+	SigEmergencyBrake = "EmergencyBrake"
+	// SigAtTargetFloor is the floor the drive controller considers the car
+	// to have arrived at (0 while travelling or idle).  Publishing the
+	// floor rather than a boolean avoids the race between a new dispatch
+	// target and a stale arrival flag.
+	SigAtTargetFloor = "AtTargetFloor"
+	// SigPeriodSeconds carries the simulation step period, published by the
+	// scenario runner so that components integrate with the right step.
+	SigPeriodSeconds = "SimPeriodSeconds"
+)
+
+// Physical and policy parameters of the modelled installation.
+const (
+	// FloorHeight is the distance between landings in metres.
+	FloorHeight = 3.0
+	// TopFloor is the highest served floor (floors are numbered from 1).
+	TopFloor = 5
+	// HoistwayUpperLimit is the physical top of the hoistway in metres
+	// above the bottom landing.
+	HoistwayUpperLimit = FloorHeight*(TopFloor-1) + 0.6
+	// MaxStoppingDistance is the worst-case stopping distance of the drive
+	// used by the drive controller's hoistway-limit subgoal.
+	MaxStoppingDistance = 1.1
+	// MaxEmergencyBrakingDistance is the worst-case stopping distance of
+	// the emergency brake used by its (secondary) subgoal.
+	MaxEmergencyBrakingDistance = 0.5
+	// WeightThreshold is the rated load in kilograms.
+	WeightThreshold = 680.0
+	// MaxSpeed is the rated car speed in m/s.
+	MaxSpeed = 1.0
+	// MaxAccel is the drive acceleration in m/s².
+	MaxAccel = 0.8
+	// DoorTravelTime is the time for a full door open or close stroke.
+	DoorTravelTime = 2 * time.Second
+	// DoorDwellTime is how long doors stay open at a landing.
+	DoorDwellTime = 3 * time.Second
+	// StoppedSpeedEpsilon is the speed below which the sensor reports the
+	// car as stopped.
+	StoppedSpeedEpsilon = 0.005
+)
+
+// floorPosition converts a 1-based floor number to metres.
+func floorPosition(floor float64) float64 { return (floor - 1) * FloorHeight }
+
+// stepSeconds reads the simulation period published on the bus, defaulting
+// to 10 ms.
+func stepSeconds(bus *sim.Bus) float64 {
+	if dt := bus.ReadNumber(SigPeriodSeconds); dt > 0 {
+		return dt
+	}
+	return 0.01
+}
+
+// Drive is the hoistway drive actuator: it accelerates the car toward the
+// commanded target while DriveCommand is GO and brings it to a halt while
+// the command is STOP or the emergency brake is applied.  The response is
+// rate-limited, which produces the actuation delays the ICPA relationships
+// of Table 4.2 describe.
+type Drive struct {
+	speed    float64
+	position float64
+}
+
+// Name implements sim.Component.
+func (d *Drive) Name() string { return "Drive" }
+
+// Step implements sim.Component.
+func (d *Drive) Step(_ time.Duration, bus *sim.Bus) {
+	dt := stepSeconds(bus)
+	command := bus.ReadString(SigDriveCommand)
+	target := bus.ReadNumber(SigDriveTarget)
+	braked := bus.ReadString(SigEmergencyBrake) == "APPLIED"
+
+	var desired float64
+	if command == "GO" && !braked {
+		direction := 1.0
+		if target < d.position {
+			direction = -1
+		}
+		remaining := math.Abs(target - d.position)
+		desired = direction * math.Min(MaxSpeed, math.Sqrt(2*MaxAccel*remaining))
+	}
+	// Emergency braking decelerates harder than the normal drive.
+	accelLimit := MaxAccel
+	if braked {
+		accelLimit = 3 * MaxAccel
+	}
+	delta := desired - d.speed
+	maxDelta := accelLimit * dt
+	if delta > maxDelta {
+		delta = maxDelta
+	}
+	if delta < -maxDelta {
+		delta = -maxDelta
+	}
+	d.speed += delta
+	if desired == 0 && math.Abs(d.speed) < 1e-4 {
+		d.speed = 0
+	}
+	d.position += d.speed * dt
+	if d.position < 0 {
+		d.position = 0
+		d.speed = 0
+	}
+
+	bus.WriteNumber(SigElevatorSpeed, d.speed)
+	bus.WriteNumber(SigElevatorPosition, d.position)
+	bus.WriteBool(SigElevatorStopped, math.Abs(d.speed) < StoppedSpeedEpsilon)
+}
+
+// DoorMotor is the door actuator: it drives the door position toward closed
+// (1.0) or open (0.0) over DoorTravelTime.  A blocked door cannot close
+// (thesis Eq. 4.6) but can always open.
+type DoorMotor struct {
+	position float64
+	// StartClosed starts the simulation with the door closed instead of
+	// the open initial state of Table 4.1.
+	StartClosed bool
+	started     bool
+}
+
+// Name implements sim.Component.
+func (m *DoorMotor) Name() string { return "DoorMotor" }
+
+// Step implements sim.Component.
+func (m *DoorMotor) Step(_ time.Duration, bus *sim.Bus) {
+	if !m.started {
+		if m.StartClosed {
+			m.position = 1
+		}
+		m.started = true
+	}
+	dt := stepSeconds(bus)
+	rate := dt / DoorTravelTime.Seconds()
+	command := bus.ReadString(SigDoorMotorCommand)
+	blocked := bus.ReadBool(SigDoorBlocked)
+
+	switch command {
+	case "CLOSE":
+		if !blocked {
+			m.position += rate
+		}
+	case "OPEN":
+		m.position -= rate
+	}
+	if m.position > 1 {
+		m.position = 1
+	}
+	if m.position < 0 {
+		m.position = 0
+	}
+	bus.WriteNumber(SigDoorPosition, m.position)
+	bus.WriteBool(SigDoorClosed, m.position >= 0.999)
+}
+
+// DispatchController latches hall and car calls into a destination floor for
+// the door and drive controllers.
+type DispatchController struct {
+	target float64
+}
+
+// Name implements sim.Component.
+func (c *DispatchController) Name() string { return "DispatchController" }
+
+// Step implements sim.Component.
+func (c *DispatchController) Step(_ time.Duration, bus *sim.Bus) {
+	for _, call := range []string{SigCarCall, SigHallCall} {
+		if f := bus.ReadNumber(call); f >= 1 {
+			c.target = f
+		}
+	}
+	bus.WriteNumber(SigDispatchTarget, c.target)
+}
+
+// DriveController commands the drive toward the dispatched floor.  Its
+// behaviour realises the ICPA subgoal of Table 4.4 (stop when the doors are
+// not closed or have been commanded open), the overweight goal of Figure 4.6
+// and the hoistway-limit subgoal of Figure 4.10.
+type DriveController struct {
+	// IgnoreHoistwayLimit seeds the design defect used by the hoistway
+	// scenario: the controller does not stop before the hoistway limit, so
+	// only the emergency brake's redundant subgoal protects the system.
+	IgnoreHoistwayLimit bool
+	// IgnoreDoorState seeds a defect in which the controller moves the car
+	// regardless of the door state, violating its Table 4.4 subgoal.
+	IgnoreDoorState bool
+	// IgnoreOverweight seeds a defect in which the controller ignores the
+	// rated-load limit.
+	IgnoreOverweight bool
+	// OverrunTargetTo, when positive, makes the controller drive toward
+	// this absolute position (in metres) regardless of the dispatched
+	// floor; used to exercise the hoistway-limit goals.
+	OverrunTargetTo float64
+}
+
+// Name implements sim.Component.
+func (c *DriveController) Name() string { return "DriveController" }
+
+// Step implements sim.Component.
+func (c *DriveController) Step(_ time.Duration, bus *sim.Bus) {
+	target := bus.ReadNumber(SigDispatchTarget)
+	position := bus.ReadNumber(SigElevatorPosition)
+	doorClosed := bus.ReadBool(SigDoorClosed)
+	doorCommand := bus.ReadString(SigDoorMotorCommand)
+	weight := bus.ReadNumber(SigElevatorWeight)
+
+	command := "STOP"
+	targetPos := position
+	haveTarget := target >= 1
+	if haveTarget {
+		targetPos = floorPosition(target)
+	}
+	if c.OverrunTargetTo > 0 {
+		targetPos = c.OverrunTargetTo
+		haveTarget = true
+	}
+	if haveTarget {
+		arrived := math.Abs(targetPos-position) < 0.01
+		doorSafe := (doorClosed && doorCommand != "OPEN") || c.IgnoreDoorState
+		overweight := weight > WeightThreshold && !c.IgnoreOverweight
+		nearLimit := targetPos > position &&
+			position >= HoistwayUpperLimit-MaxStoppingDistance &&
+			!c.IgnoreHoistwayLimit
+		if !arrived && doorSafe && !overweight && !nearLimit {
+			command = "GO"
+		}
+	}
+	bus.WriteString(SigDriveCommand, command)
+	bus.WriteNumber(SigDriveTarget, targetPos)
+	atFloor := 0.0
+	if target >= 1 && math.Abs(floorPosition(target)-position) < 0.01 {
+		atFloor = target
+	}
+	bus.WriteNumber(SigAtTargetFloor, atFloor)
+}
+
+// DoorController opens the doors on arrival at the dispatched landing and
+// keeps them closed while the car moves, realising its Table 4.4 subgoal.
+type DoorController struct {
+	// OpenWhileMoving seeds the design defect used by the faulty-door
+	// scenario: the controller opens the doors as soon as the car nears
+	// the landing, while it is still moving.
+	OpenWhileMoving bool
+
+	dwellRemaining time.Duration
+	servedTarget   float64
+}
+
+// Name implements sim.Component.
+func (c *DoorController) Name() string { return "DoorController" }
+
+// Step implements sim.Component.
+func (c *DoorController) Step(_ time.Duration, bus *sim.Bus) {
+	dt := time.Duration(stepSeconds(bus) * float64(time.Second))
+	stopped := bus.ReadBool(SigElevatorStopped)
+	driveCommand := bus.ReadString(SigDriveCommand)
+	blocked := bus.ReadBool(SigDoorBlocked)
+	atFloor := bus.ReadNumber(SigAtTargetFloor)
+	position := bus.ReadNumber(SigElevatorPosition)
+	target := bus.ReadNumber(SigDispatchTarget)
+
+	arrivedAt := 0.0
+	if atFloor >= 1 && stopped && driveCommand != "GO" {
+		arrivedAt = atFloor
+	}
+	if c.OpenWhileMoving && target >= 1 && math.Abs(floorPosition(target)-position) < 0.6 {
+		// Defect: treat "almost there" as arrived even while still moving.
+		arrivedAt = target
+	}
+	if arrivedAt >= 1 && arrivedAt != c.servedTarget {
+		c.dwellRemaining = DoorDwellTime
+		c.servedTarget = arrivedAt
+	}
+	if blocked && c.dwellRemaining < DoorDwellTime/2 {
+		// A blocked doorway re-opens the doors (door reversal, Eq. 4.7).
+		c.dwellRemaining = DoorDwellTime / 2
+	}
+
+	command := "CLOSE"
+	if c.dwellRemaining > 0 {
+		command = "OPEN"
+		c.dwellRemaining -= dt
+	}
+	// Subgoal Achieve[CloseDoorWhenElevatorMovingOrMoved]: when the car is
+	// moving or commanded to move and the doorway is clear, close the doors
+	// (overrides the dwell, except in the defective variant).
+	if (!stopped || driveCommand == "GO") && !blocked && !c.OpenWhileMoving {
+		command = "CLOSE"
+		c.dwellRemaining = 0
+	}
+	bus.WriteString(SigDoorMotorCommand, command)
+}
+
+// EmergencyBrake is the redundant-responsibility agent of Figure 4.11: it
+// latches APPLIED when the car exceeds the emergency-braking envelope below
+// the hoistway limit.
+type EmergencyBrake struct {
+	// Disabled removes the emergency brake's protection, for ablation runs.
+	Disabled bool
+	applied  bool
+}
+
+// Name implements sim.Component.
+func (b *EmergencyBrake) Name() string { return "EmergencyBrake" }
+
+// Step implements sim.Component.
+func (b *EmergencyBrake) Step(_ time.Duration, bus *sim.Bus) {
+	if !b.Disabled && bus.ReadNumber(SigElevatorPosition) >= HoistwayUpperLimit-MaxEmergencyBrakingDistance {
+		b.applied = true
+	}
+	state := "RELEASED"
+	if b.applied {
+		state = "APPLIED"
+	}
+	bus.WriteString(SigEmergencyBrake, state)
+}
+
+// PassengerAction is one scheduled passenger behaviour.
+type PassengerAction struct {
+	// At is the simulation time of the action.
+	At time.Duration
+	// CarCall, when >= 1, presses the in-car button for that floor.
+	CarCall int
+	// HallCall, when >= 1, presses the hall button for that floor.
+	HallCall int
+	// BlockDoorFor blocks the doorway for the given duration (0 = none).
+	BlockDoorFor time.Duration
+	// AddWeight adds load to the car in kilograms (negative to unload).
+	AddWeight float64
+}
+
+// Passenger is the environmental agent of Figure 4.5: it presses buttons,
+// blocks the doorway and loads the car according to a schedule.
+type Passenger struct {
+	// Actions is the schedule, in any order.
+	Actions []PassengerAction
+
+	blockUntil time.Duration
+	weight     float64
+}
+
+// Name implements sim.Component.
+func (p *Passenger) Name() string { return "Passenger" }
+
+// Step implements sim.Component.
+func (p *Passenger) Step(now time.Duration, bus *sim.Bus) {
+	step := time.Duration(stepSeconds(bus) * float64(time.Second))
+	carCall, hallCall := 0.0, 0.0
+	for _, a := range p.Actions {
+		if now >= a.At && now < a.At+step {
+			if a.CarCall >= 1 {
+				carCall = float64(a.CarCall)
+			}
+			if a.HallCall >= 1 {
+				hallCall = float64(a.HallCall)
+			}
+			if a.BlockDoorFor > 0 {
+				p.blockUntil = now + a.BlockDoorFor
+			}
+			p.weight += a.AddWeight
+		}
+	}
+	if p.weight < 0 {
+		p.weight = 0
+	}
+	bus.WriteNumber(SigCarCall, carCall)
+	bus.WriteNumber(SigHallCall, hallCall)
+	bus.WriteBool(SigDoorBlocked, now < p.blockUntil)
+	bus.WriteNumber(SigElevatorWeight, p.weight)
+}

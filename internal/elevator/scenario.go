@@ -1,0 +1,224 @@
+package elevator
+
+import (
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/temporal"
+)
+
+// DefaultPeriod is the simulation state period for the elevator scenarios.
+const DefaultPeriod = 10 * time.Millisecond
+
+// matchTolerance is the number of states within which a subsystem subgoal
+// violation is considered to correspond to a system goal violation; it
+// covers the observation delay plus the door/drive actuation delays.
+const matchTolerance = 250
+
+// Scenario configures one elevator simulation run.
+type Scenario struct {
+	// Name identifies the scenario.
+	Name string
+	// Description explains what the scenario exercises.
+	Description string
+	// Duration is the simulated time.
+	Duration time.Duration
+	// Passenger is the passenger schedule.
+	Passenger []PassengerAction
+	// DoorDefect enables the door controller's open-while-moving defect.
+	DoorDefect bool
+	// DriveDoorDefect makes the drive controller ignore the door state.
+	DriveDoorDefect bool
+	// OverweightDefect makes the drive controller ignore the rated load.
+	OverweightDefect bool
+	// HoistwayDefect makes the drive controller ignore the hoistway limit
+	// and drive past the top floor.
+	HoistwayDefect bool
+	// DisableEmergencyBrake removes the redundant emergency brake (for
+	// ablation of redundant goal coverage).
+	DisableEmergencyBrake bool
+}
+
+// Result is the outcome of one monitored elevator scenario.
+type Result struct {
+	// Scenario is the configuration that was run.
+	Scenario Scenario
+	// Trace is the recorded state trace.
+	Trace *temporal.Trace
+	// Suite holds the goal and subgoal monitors after the run.
+	Suite *monitor.Suite
+	// Detections are the hit / false-negative / false-positive
+	// classifications per system goal.
+	Detections map[string][]monitor.Detection
+	// Summary aggregates the detections.
+	Summary monitor.Summary
+}
+
+// NominalScenario is a defect-free ride: the passenger calls the car, rides
+// to the fourth floor, and leaves.  No goal violations are expected.
+func NominalScenario() Scenario {
+	return Scenario{
+		Name:        "nominal",
+		Description: "Passenger rides from the ground floor to floor 4 with no seeded defects.",
+		Duration:    60 * time.Second,
+		Passenger: []PassengerAction{
+			{At: 1 * time.Second, HallCall: 1},
+			{At: 2 * time.Second, AddWeight: 80},
+			{At: 8 * time.Second, CarCall: 4},
+			{At: 40 * time.Second, AddWeight: -80},
+		},
+	}
+}
+
+// DoorDefectScenario seeds the open-while-moving defect in the door
+// controller: the system goal Maintain[DoorClosedOrElevatorStopped] and the
+// DoorController subgoal are both violated (a hit at the subsystem level).
+func DoorDefectScenario() Scenario {
+	s := NominalScenario()
+	s.Name = "door-defect"
+	s.Description = "Door controller opens the doors while the car is still moving toward the landing."
+	s.DoorDefect = true
+	return s
+}
+
+// OverweightScenario loads the car above the rated load and seeds the
+// drive controller defect that ignores the overweight check, violating
+// Maintain[DriveStoppedWhenOverweight].
+func OverweightScenario() Scenario {
+	return Scenario{
+		Name:             "overweight",
+		Description:      "Car is loaded above the rated load and the drive controller moves it anyway.",
+		Duration:         40 * time.Second,
+		OverweightDefect: true,
+		Passenger: []PassengerAction{
+			{At: 1 * time.Second, HallCall: 1},
+			{At: 2 * time.Second, AddWeight: 900},
+			{At: 4 * time.Second, CarCall: 3},
+		},
+	}
+}
+
+// HoistwayDefectScenario seeds the hoistway-limit defect in the drive
+// controller; the redundant emergency-brake subgoal keeps the system goal
+// satisfied, producing a false positive at the subsystem level.
+func HoistwayDefectScenario() Scenario {
+	return Scenario{
+		Name:           "hoistway-defect",
+		Description:    "Drive controller ignores the hoistway limit; the emergency brake provides redundant coverage.",
+		Duration:       45 * time.Second,
+		HoistwayDefect: true,
+		Passenger: []PassengerAction{
+			{At: 1 * time.Second, CarCall: 5},
+		},
+	}
+}
+
+// HoistwayUnprotectedScenario additionally disables the emergency brake, so
+// the system-level hoistway goal is violated together with the drive
+// controller subgoal (a hit), demonstrating why the redundant assignment is
+// used.
+func HoistwayUnprotectedScenario() Scenario {
+	s := HoistwayDefectScenario()
+	s.Name = "hoistway-unprotected"
+	s.Description = "Hoistway-limit defect with the emergency brake disabled: the system goal is violated."
+	s.DisableEmergencyBrake = true
+	return s
+}
+
+// Scenarios returns the standard elevator scenario set.
+func Scenarios() []Scenario {
+	return []Scenario{
+		NominalScenario(),
+		DoorDefectScenario(),
+		OverweightScenario(),
+		HoistwayDefectScenario(),
+		HoistwayUnprotectedScenario(),
+	}
+}
+
+// BuildSuite constructs the hierarchical monitor suite for the elevator: one
+// hierarchy per system goal, with the ICPA-derived subgoals as children.
+func BuildSuite(period time.Duration) *monitor.Suite {
+	registry := Goals()
+	suite := monitor.NewSuite()
+
+	suite.Add(monitor.NewHierarchy(
+		monitor.MustNew(registry.MustGet(GoalDoorClosedOrStopped), "Elevator", period),
+		matchTolerance,
+		monitor.MustNew(registry.MustGet(SubgoalCloseDoorWhenMoving), "DoorController", period),
+		monitor.MustNew(registry.MustGet(SubgoalStopWhenDoorOpen), "DriveController", period),
+	))
+	suite.Add(monitor.NewHierarchy(
+		monitor.MustNew(registry.MustGet(GoalDriveStoppedWhenOverweight), "Elevator", period),
+		matchTolerance,
+		monitor.MustNew(registry.MustGet(SubgoalDriveStopOverweight), "DriveController", period),
+	))
+	suite.Add(monitor.NewHierarchy(
+		monitor.MustNew(registry.MustGet(GoalBelowHoistwayLimit), "Elevator", period),
+		matchTolerance,
+		monitor.MustNew(registry.MustGet(SubgoalStopBeforeLimit), "DriveController", period),
+		monitor.MustNew(registry.MustGet(SubgoalEmergencyStopBeforeLimit), "EmergencyBrake", period),
+	))
+	return suite
+}
+
+// Run executes a scenario with hierarchical monitoring and returns the
+// recorded trace, the monitors and the violation classification.
+func Run(sc Scenario) Result {
+	s := sim.New(DefaultPeriod)
+	s.Bus.InitNumber(SigPeriodSeconds, DefaultPeriod.Seconds())
+	s.Bus.InitString(SigDriveCommand, "STOP")
+	s.Bus.InitString(SigDoorMotorCommand, "OPEN")
+	s.Bus.InitString(SigEmergencyBrake, "RELEASED")
+	s.Bus.InitBool(SigElevatorStopped, true)
+	s.Bus.InitBool(SigDoorClosed, false)
+	s.Bus.InitNumber(SigElevatorPosition, 0)
+	s.Bus.InitNumber(SigElevatorSpeed, 0)
+	s.Bus.InitNumber(SigElevatorWeight, 0)
+	s.Bus.InitNumber(SigDispatchTarget, 0)
+
+	driveController := &DriveController{
+		IgnoreHoistwayLimit: sc.HoistwayDefect,
+		IgnoreDoorState:     sc.DriveDoorDefect,
+		IgnoreOverweight:    sc.OverweightDefect,
+	}
+	if sc.HoistwayDefect {
+		driveController.OverrunTargetTo = HoistwayUpperLimit + 2
+	}
+	doorController := &DoorController{OpenWhileMoving: sc.DoorDefect}
+	brake := &EmergencyBrake{Disabled: sc.DisableEmergencyBrake}
+
+	s.Add(
+		&Passenger{Actions: sc.Passenger},
+		&DispatchController{},
+		driveController,
+		doorController,
+		brake,
+		&Drive{},
+		NewDoorMotor(),
+	)
+
+	suite := BuildSuite(DefaultPeriod)
+	s.OnStep(func(_ time.Duration, st temporal.State) { suite.Observe(st) })
+
+	duration := sc.Duration
+	if duration <= 0 {
+		duration = 30 * time.Second
+	}
+	trace := s.Run(duration)
+	suite.Finish()
+
+	detections := suite.Classify()
+	return Result{
+		Scenario:   sc,
+		Trace:      trace,
+		Suite:      suite,
+		Detections: detections,
+		Summary:    suite.Summary(),
+	}
+}
+
+// NewDoorMotor returns a door motor matching the initial bus state (door
+// open, as in Table 4.1's initial-state relationship).
+func NewDoorMotor() *DoorMotor { return &DoorMotor{} }

@@ -1,0 +1,100 @@
+package hazard
+
+// This file contains the concrete hazard-analysis artefacts for the thesis'
+// semi-autonomous automotive system: the partial fault tree of Figure 2.2,
+// the partial FMEA of Figure 2.3 and the PHA the vehicle safety goals of
+// Tables 5.1/5.2 trace back to.
+
+// VehicleUnintendedAccelerationTree reproduces the partial fault tree of
+// thesis Figure 2.2 for the hazard "unintended sudden acceleration".
+func VehicleUnintendedAccelerationTree() *FaultTree {
+	objectMissed := AndGate("Object detection misses object that is there",
+		OrGate("Detection failure cause",
+			BasicEvent("Object's features exceed detection algorithm's margin of error", 1e-3),
+			BasicEvent("Sensor is blocked", 5e-4),
+		),
+		BasicEvent("Object is present in vehicle path", 1e-1),
+	)
+	autonomousSwitch := AndGate("Autonomous control changes from decelerate to accelerate",
+		BasicEvent("Higher priority subsystem aborts deceleration", 2e-4),
+		BasicEvent("Lower priority subsystem requests acceleration", 5e-2),
+	)
+	root := OrGate("Unintended sudden acceleration",
+		BasicEvent("Driver presses throttle pedal instead of brake", 1e-5),
+		BasicEvent("Throttle accidentally applied instead of brake", 1e-5),
+		autonomousSwitch,
+		objectMissed,
+	)
+	return &FaultTree{Hazard: "Unintended sudden acceleration", Root: root}
+}
+
+// VehicleRadarFMEA reproduces the partial FMEA of thesis Figure 2.3 for the
+// long-range radar sensor, extended with the arbitration and feature
+// subsystem failure modes the evaluation scenarios exercise.
+func VehicleRadarFMEA() *FMEA {
+	f := &FMEA{System: "semi-autonomous automotive system"}
+	f.Add(FailureMode{
+		Component: "Long-range radar sensor", Mode: "False positive", Cause: "Signal noise",
+		Effect: "Could cause Collision Avoidance to randomly stop vehicle", Probability: 3e-2,
+	})
+	f.Add(FailureMode{
+		Component: "Long-range radar sensor", Mode: "False negative", Cause: "Signal noise",
+		Effect: "Could cause Collision Avoidance to miss an object", Probability: 1e-2,
+	})
+	f.Add(FailureMode{
+		Component: "Arbiter", Mode: "Wrong source selected", Cause: "Reversed steering arbitration priority",
+		Effect: "Acceleration command taken from an unintended feature subsystem", Probability: 1e-4,
+	})
+	f.Add(FailureMode{
+		Component: "Park Assist", Mode: "Spurious request", Cause: "Requests emitted while not enabled",
+		Effect: "Unintended acceleration if arbitration passes the request through", Probability: 1e-4,
+	})
+	f.Add(FailureMode{
+		Component: "Collision Avoidance", Mode: "Intermittent braking", Cause: "Braking action cancelled and re-applied",
+		Effect: "Vehicle fails to stop before the object in its path", Probability: 5e-4,
+	})
+	f.Add(FailureMode{
+		Component: "Adaptive Cruise Control", Mode: "Command while inactive", Cause: "Controller runs while not engaged",
+		Effect: "Acceleration requests toward an unintended set speed", Probability: 2e-4,
+	})
+	return f
+}
+
+// VehiclePHA returns the Preliminary Hazard Analysis from which the nine
+// vehicle-level safety goals of Tables 5.1/5.2 are derived.
+func VehiclePHA() *PHA {
+	p := &PHA{System: "semi-autonomous automotive system"}
+	p.Add(PHAEntry{
+		Hazard:   "Unintended or sudden vehicle acceleration under autonomous control",
+		Severity: SeverityCatastrophic,
+		Causes:   []string{"arbitration defect", "feature requests while disabled", "incorrect pedal application"},
+		Mitigations: []string{
+			"Achieve[AutoAccelBelowThreshold]", "Achieve[AutoJerkBelowThreshold]", "Achieve[NoAutoAccelFromStop]",
+		},
+	})
+	p.Add(PHAEntry{
+		Hazard:      "Conflicting acceleration and steering control by different feature subsystems",
+		Severity:    SeverityCritical,
+		Causes:      []string{"feature interaction", "split arbitration of acceleration and steering"},
+		Mitigations: []string{"Achieve[SubsystemAccelSteeringAgreement]"},
+	})
+	p.Add(PHAEntry{
+		Hazard:      "Driver unable to override autonomous control",
+		Severity:    SeverityCatastrophic,
+		Causes:      []string{"arbitration priority defect", "feature ignores pedal or steering-wheel input"},
+		Mitigations: []string{"Achieve[DriverForwardAccelOverride]", "Achieve[DriverBackwardAccelOverride]", "Achieve[DriverSteeringOverride]"},
+	})
+	p.Add(PHAEntry{
+		Hazard:      "Feature controls the vehicle in a direction of travel it was not designed for",
+		Severity:    SeverityCritical,
+		Causes:      []string{"missing direction check", "reverse gear not propagated"},
+		Mitigations: []string{"Achieve[ForwardBlockAccelSteering]", "Achieve[BackwardBlockAccelSteering]"},
+	})
+	p.Add(PHAEntry{
+		Hazard:      "Collision with stationary object in the vehicle path",
+		Severity:    SeverityCatastrophic,
+		Causes:      []string{"object detection false negative", "intermittent braking"},
+		Mitigations: []string{"Collision Avoidance braking behaviour (functional requirement)"},
+	})
+	return p
+}

@@ -1,0 +1,161 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/temporal"
+	"repro/internal/vehicle"
+)
+
+// AppendixCAnalyses builds one Indirect Control Path Analysis per system
+// safety goal, reproducing the structure of the thesis' Appendix C
+// (Figures C.1–C.38): the indirect control paths from the goal variables
+// through the Arbiter to the feature subsystems and the driver, the numbered
+// indirect-control relationships, the goal coverage strategy of §5.3
+// (redundant responsibility with the Arbiter as primary for all goals except
+// goal 3, which is single responsibility at the Arbiter), and the resulting
+// Arbiter and feature subgoals of Table 5.3.
+func AppendixCAnalyses() []*core.Analysis {
+	model := vehicle.Model()
+	out := make([]*core.Analysis, 0, len(GoalNames))
+	for _, name := range GoalNames {
+		out = append(out, buildVehicleICPA(name, model))
+	}
+	return out
+}
+
+// VehicleICPA builds the Appendix C analysis for one system safety goal.
+func VehicleICPA(goalName string) (*core.Analysis, bool) {
+	for _, name := range GoalNames {
+		if name == goalName {
+			return buildVehicleICPA(name, vehicle.Model()), true
+		}
+	}
+	return nil, false
+}
+
+func buildVehicleICPA(goalName string, model *core.SystemModel) *core.Analysis {
+	registry := VehicleGoals()
+	a := core.NewAnalysis(registry.MustGet(goalName), model)
+	a.TracePaths(0)
+
+	// Indirect control relationships shared by all of the vehicle goals:
+	// how the sensed motion relates to the arbitrated command, and how the
+	// command relates to the selected request (Figure 4.4 applied to
+	// Figure 5.1).
+	relResponse := a.AddRelationship(vehicle.SigVehicleAccel,
+		[]string{"Powertrain", "MotionSensors"},
+		temporal.MustParse(fmt.Sprintf("prevfor[600ms](%s <= 2) => %s <= 2.4",
+			vehicle.SigAccelCommand, vehicle.SigVehicleAccel)),
+		"The achieved acceleration tracks the arbitrated command within the powertrain response time, with bounded overshoot")
+	relSelection := a.AddRelationship(vehicle.SigAccelCommand,
+		[]string{"Arbiter"},
+		temporal.MustParse(fmt.Sprintf("%s => %s == %s",
+			vehicle.SigAccelFromSubsystem, vehicle.SigAccelCommand, vehicle.SigSelectedRequestValue)),
+		"When a subsystem is selected, the acceleration command equals that subsystem's request")
+	relAttribution := a.AddRelationship(vehicle.SigAccelSource,
+		[]string{"Arbiter"},
+		temporal.MustParse(fmt.Sprintf("%s => (%s != 'Driver' & %s != 'None')",
+			vehicle.SigAccelFromSubsystem, vehicle.SigAccelSource, vehicle.SigAccelSource)),
+		"The source tag identifies the subsystem whose request was selected")
+	relDriverPedals := a.AddRelationship(vehicle.SigAccelCommand,
+		[]string{"Driver", "Arbiter"},
+		temporal.MustParse(fmt.Sprintf("(prev(%s) & !%s) => %s == 'Driver'",
+			vehicle.SigPedalApplied, vehicle.SigSelectedSoftRequestFwd, vehicle.SigAccelSource)),
+		"A driver pedal application overrides any selected subsystem request that is not an emergency stop")
+	relSteering := a.AddRelationship(vehicle.SigSteerCommand,
+		[]string{"Arbiter"},
+		temporal.MustParse(fmt.Sprintf("%s => (%s == 'LCA' | %s == 'PA' | %s == 'Driver')",
+			vehicle.SigSteerFromSubsystem, vehicle.SigSteerSource, vehicle.SigSteerSource, vehicle.SigSteerSource)),
+		"Only LCA, PA and the driver produce steering requests")
+
+	// Coverage strategy (§5.3): the Arbiter carries primary responsibility
+	// because it is the final source of the acceleration and steering
+	// commands; the feature subsystems carry secondary (redundant)
+	// responsibility, except for goal 3 where maintaining the arbitration
+	// logic in every feature would be impractical.
+	if goalName == Goal3Agreement {
+		a.SetCoverage(core.CoverageStrategy{
+			Assignment:  core.SingleResponsibility,
+			Scope:       core.Restrictive,
+			Responsible: []string{"Arbiter"},
+			Note:        "Maintaining the arbitration logic in every feature subsystem is impractical in a distributed development environment.",
+		})
+	} else {
+		a.SetCoverage(core.CoverageStrategy{
+			Assignment:  core.RedundantResponsibility,
+			Scope:       core.Restrictive,
+			Responsible: []string{"Arbiter"},
+			Secondary:   featureSubgoalAssignments(goalName),
+			Note:        "Worst-case actuation delays assumed; feature subgoals are OR-reduced to constrain requests unconditionally.",
+		})
+	}
+
+	a.AddElaboration(
+		fmt.Sprintf("%s  <=  Arbiter command subgoal under the powertrain response assumption", goalName),
+		core.TacticIntroduceActuation,
+		[]int{relResponse, relSelection, relAttribution},
+		"Introduce actuation goal: constrain the arbitrated command instead of the sensed response")
+	if goalName != Goal3Agreement {
+		a.AddElaboration(
+			"Feature request subgoals obtained by OR-reduction: constrain every request, whether or not it is selected",
+			core.TacticORReduction,
+			[]int{relSelection, relDriverPedals, relSteering},
+			"Redundant (secondary) coverage protects against arbiter selection faults earlier in the control flow")
+	}
+
+	if sub, ok := arbiterSubgoal(goalName); ok {
+		a.AddSubgoal(core.SubsystemGoal{
+			Subsystem:   "Arbiter",
+			Goal:        sub,
+			Controls:    []string{vehicle.SigAccelCommand, vehicle.SigSteerCommand, vehicle.SigAccelSource, vehicle.SigSteerSource},
+			Observes:    featureRequestSignals(),
+			Restrictive: true,
+			MonitorAt:   "Arbiter",
+		})
+	}
+	for _, feature := range featureSubgoalAssignments(goalName) {
+		sub, ok := featureSubgoal(goalName, feature)
+		if !ok {
+			continue
+		}
+		controls := []string{vehicle.SigAccelRequest(feature)}
+		if feature == vehicle.SourceLCA || feature == vehicle.SourcePA {
+			controls = append(controls, vehicle.SigSteerRequest(feature))
+		}
+		a.AddSubgoal(core.SubsystemGoal{
+			Subsystem:   feature,
+			Goal:        sub,
+			Controls:    controls,
+			Observes:    sub.MonitoredVars(),
+			Restrictive: true,
+			Redundant:   true,
+			MonitorAt:   feature,
+		})
+	}
+	return a
+}
+
+func featureRequestSignals() []string {
+	out := make([]string, 0, len(vehicle.FeatureNames)*2)
+	for _, f := range vehicle.FeatureNames {
+		out = append(out, vehicle.SigAccelRequest(f), vehicle.SigSteerRequest(f))
+	}
+	return out
+}
+
+// LessonsFromICPA returns the design insights the thesis reports from
+// applying ICPA to the vehicle (§5.3.2), so that tools and examples can
+// print them next to the analyses.
+func LessonsFromICPA() []string {
+	return []string{
+		"Arbitration of feature control requests is divided between longitudinal acceleration and steering, which complicates actions that coordinate the two.",
+		"Prioritisation of feature requests in steering arbitration is the reverse of the prioritisation in acceleration arbitration, which can produce feature-interaction problems when different subsystems are chosen for acceleration and steering.",
+		"The Arbiter indicates control with separate 'selected' flags, so control actions can be attributed to multiple sources.",
+		"ACC performs the longitudinal control for LCA, so subgoals limiting acceleration requests need not be monitored separately for LCA.",
+		"Almost all safety subgoals are restrictive, usually because of jitter in monitored or controlled values.",
+		"Some goals can only be monitored at the subsystem level: a goal that restricts a directly controlled variable cannot be monitored above the level of the subsystem that controls it.",
+		"Goal redundancy between hierarchy levels only protects against defects in subsystems earlier in the control flow.",
+	}
+}

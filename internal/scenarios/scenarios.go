@@ -1,0 +1,312 @@
+package scenarios
+
+import (
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/temporal"
+	"repro/internal/vehicle"
+)
+
+// Period is the simulation state period used by the evaluation (1 ms, as in
+// the thesis).
+const Period = time.Millisecond
+
+// Scenario is one of the ten evaluation scenarios of thesis Section 5.4.
+type Scenario struct {
+	// Number is the thesis scenario number (1–10).
+	Number int
+	// Name is a short identifier.
+	Name string
+	// Description is the thesis' scenario description.
+	Description string
+	// Duration is the scheduled simulation time (20 s in the thesis); runs
+	// terminate early on a collision, as the thesis' runs terminated early
+	// on vehicle-model faults.
+	Duration time.Duration
+
+	// InitialSpeed is the host vehicle's speed at the start, in m/s
+	// (negative for reverse motion).
+	InitialSpeed float64
+	// Gear is the transmission gear at the start ("D" or "R").
+	Gear string
+	// ObjectDistance and ObjectSpeed place a target vehicle relative to
+	// the host (positive distance ahead, negative behind).
+	ObjectDistance float64
+	ObjectSpeed    float64
+
+	// Driver is the driver/HMI input schedule.
+	Driver []vehicle.DriverAction
+
+	// ACCDirectionCheck restores the gear check in ACC engagement (the
+	// thesis implementation accepted engagement in reverse, so the check
+	// is off by default).
+	ACCDirectionCheck bool
+}
+
+// Result is the outcome of one monitored scenario run.
+type Result struct {
+	// Scenario is the configuration that was run.
+	Scenario Scenario
+	// Trace is the recorded state trace.
+	Trace *temporal.Trace
+	// Suite holds the goal and subgoal monitors after the run.
+	Suite *monitor.Suite
+	// Detections are the classified correspondences per system goal.
+	Detections map[string][]monitor.Detection
+	// Summary aggregates the detections.
+	Summary monitor.Summary
+	// Collision reports whether the run terminated early on a collision.
+	Collision bool
+}
+
+// TerminatedEarly reports whether the run stopped before its scheduled
+// duration.
+func (r Result) TerminatedEarly() bool {
+	return r.Trace.Len() < int(r.Scenario.Duration/Period)
+}
+
+// Scenarios returns the ten evaluation scenarios of Section 5.4.
+func Scenarios() []Scenario {
+	enable := vehicle.Flag(true)
+	return []Scenario{
+		{
+			Number: 1, Name: "s1-ca-acc-stopped-vehicle",
+			Description:  "CA enabled, ACC enabled, stopped vehicle in path.",
+			Duration:     20 * time.Second,
+			InitialSpeed: 8, Gear: "D", ObjectDistance: 110, ObjectSpeed: 0,
+			Driver: []vehicle.DriverAction{
+				{At: 0, EnableCA: enable, EnableACC: enable},
+			},
+		},
+		{
+			Number: 2, Name: "s2-pa-engaged-during-braking",
+			Description:  "CA engaged, ACC enabled, PA enabled: the driver engages PA just after CA begins a hard braking action.",
+			Duration:     20 * time.Second,
+			InitialSpeed: 8, Gear: "D", ObjectDistance: 110, ObjectSpeed: 0,
+			Driver: []vehicle.DriverAction{
+				{At: 0, EnableCA: enable, EnableACC: enable},
+				{At: 12500 * time.Millisecond, EnablePA: enable, EngagePA: enable},
+			},
+		},
+		{
+			Number: 3, Name: "s3-throttle-vs-ca",
+			Description:  "CA engaged, ACC enabled, throttle pedal applied, stopped vehicle in path: CA's intermittent braking fails to stop the host vehicle.",
+			Duration:     20 * time.Second,
+			InitialSpeed: 6, Gear: "D", ObjectDistance: 100, ObjectSpeed: 0,
+			Driver: []vehicle.DriverAction{
+				{At: 0, EnableCA: enable, EnableACC: enable},
+				{At: 500 * time.Millisecond, Throttle: vehicle.Level(0.3)},
+			},
+		},
+		{
+			Number: 4, Name: "s4-acc-engaged-with-throttle",
+			Description:  "Throttle pedal applied, ACC engaged, CA enabled, slow vehicle in path.",
+			Duration:     20 * time.Second,
+			InitialSpeed: 10, Gear: "D", ObjectDistance: 60, ObjectSpeed: 6,
+			Driver: []vehicle.DriverAction{
+				{At: 0, EnableCA: enable, EnableACC: enable},
+				{At: 500 * time.Millisecond, Throttle: vehicle.Level(0.4)},
+				{At: 2 * time.Second, EngageACC: enable, SetSpeed: vehicle.Level(20)},
+				{At: 9 * time.Second, Throttle: vehicle.Level(0)},
+			},
+		},
+		{
+			Number: 5, Name: "s5-acc-throttle-then-brake",
+			Description:  "Throttle pedal applied, ACC engaged, CA enabled, brake pedal applied, slow vehicle in path.",
+			Duration:     20 * time.Second,
+			InitialSpeed: 10, Gear: "D", ObjectDistance: 60, ObjectSpeed: 6,
+			Driver: []vehicle.DriverAction{
+				{At: 0, EnableCA: enable, EnableACC: enable},
+				{At: 500 * time.Millisecond, Throttle: vehicle.Level(0.4)},
+				{At: 2 * time.Second, EngageACC: enable, SetSpeed: vehicle.Level(12)},
+				{At: 7 * time.Second, Throttle: vehicle.Level(0)},
+				{At: 11 * time.Second, Brake: vehicle.Level(0.3)},
+				{At: 13 * time.Second, Brake: vehicle.Level(0)},
+			},
+		},
+		{
+			Number: 6, Name: "s6-lca-engaged",
+			Description:  "Throttle pedal applied, ACC engaged, CA enabled, LCA engaged, slow vehicle in path: vehicle speed becomes negative while LCA and ACC remain active.",
+			Duration:     20 * time.Second,
+			InitialSpeed: 10, Gear: "D", ObjectDistance: 60, ObjectSpeed: 6,
+			Driver: []vehicle.DriverAction{
+				{At: 0, EnableCA: enable, EnableACC: enable, EnableLCA: enable},
+				{At: 500 * time.Millisecond, Throttle: vehicle.Level(0.4)},
+				{At: 2 * time.Second, EngageACC: enable, SetSpeed: vehicle.Level(20)},
+				{At: 4500 * time.Millisecond, Throttle: vehicle.Level(0)},
+				{At: 5 * time.Second, EngageLCA: enable},
+			},
+		},
+		{
+			Number: 7, Name: "s7-reverse-rca",
+			Description:  "In reverse, RCA enabled, stopped vehicle in path behind the host: RCA never engages.",
+			Duration:     20 * time.Second,
+			InitialSpeed: 0, Gear: "R", ObjectDistance: -12, ObjectSpeed: 0,
+			Driver: []vehicle.DriverAction{
+				{At: 0, EnableRCA: enable, Gear: vehicle.GearSel("R")},
+				{At: 1 * time.Second, Throttle: vehicle.Level(0.25)},
+			},
+		},
+		{
+			Number: 8, Name: "s8-reverse-acc-engaged",
+			Description:  "In reverse, ACC engaged, stopped vehicle in path: ACC is selected as the acceleration source while the vehicle moves backward.",
+			Duration:     20 * time.Second,
+			InitialSpeed: 0, Gear: "R", ObjectDistance: -15, ObjectSpeed: 0,
+			Driver: []vehicle.DriverAction{
+				{At: 0, EnableACC: enable, EnableRCA: enable, Gear: vehicle.GearSel("R")},
+				{At: 500 * time.Millisecond, Throttle: vehicle.Level(0.4)},
+				{At: 1800 * time.Millisecond, Throttle: vehicle.Level(0)},
+				{At: 2 * time.Second, EngageACC: enable},
+			},
+		},
+		{
+			Number: 9, Name: "s9-pa-engaged-at-stop",
+			Description:  "Stopped, PA engaged, stopped vehicle in path: PA is selected but the acceleration command does not equal the PA request.",
+			Duration:     20 * time.Second,
+			InitialSpeed: 0, Gear: "D", ObjectDistance: 12, ObjectSpeed: 0,
+			Driver: []vehicle.DriverAction{
+				{At: 0, EnableCA: enable, Brake: vehicle.Level(0.3)},
+				{At: 2 * time.Second, EnablePA: enable, EngagePA: enable, Brake: vehicle.Level(0)},
+			},
+		},
+		{
+			Number: 10, Name: "s10-acc-engage-at-stop",
+			Description:  "Stopped, ACC engaged, stopped vehicle in path: ACC does not become active, yet the vehicle begins to accelerate.",
+			Duration:     20 * time.Second,
+			InitialSpeed: 0, Gear: "D", ObjectDistance: 25, ObjectSpeed: 0,
+			Driver: []vehicle.DriverAction{
+				{At: 0, EnableCA: enable, EnableACC: enable, Brake: vehicle.Level(0.3)},
+				{At: 2 * time.Second, EngageACC: enable, Brake: vehicle.Level(0)},
+			},
+		},
+	}
+}
+
+// ScenarioByNumber returns the scenario with the given thesis number.
+func ScenarioByNumber(n int) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Number == n {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Options configures a scenario run beyond the scenario definition itself.
+type Options struct {
+	// CorrectDefects removes every seeded defect from the feature
+	// subsystems and the Arbiter: CA brakes continuously, RCA engages,
+	// ACC only controls while engaged and only in forward gear, PA is
+	// silent while disabled, and the Arbiter uses a single consistent
+	// priority order with an immediate driver-override check.  Running the
+	// scenarios in this configuration is the ablation that shows how much
+	// of the observed goal-violation structure comes from the thesis'
+	// documented defects rather than from the monitoring approach.
+	CorrectDefects bool
+}
+
+// Run executes one scenario with the full Table 5.3 monitoring suite and the
+// thesis' seeded defects in place.
+func Run(sc Scenario) Result { return RunWithOptions(sc, Options{}) }
+
+// RunCorrected executes one scenario with every seeded defect removed.
+func RunCorrected(sc Scenario) Result { return RunWithOptions(sc, Options{CorrectDefects: true}) }
+
+// RunWithOptions executes one scenario with explicit options.
+func RunWithOptions(sc Scenario, opts Options) Result {
+	s := sim.New(Period)
+	bus := s.Bus
+	bus.InitNumber(vehicle.SigPeriodSeconds, Period.Seconds())
+	bus.InitString(vehicle.SigGear, sc.Gear)
+	bus.InitString(vehicle.SigAccelSource, vehicle.SourceNone)
+	bus.InitString(vehicle.SigSteerSource, vehicle.SourceNone)
+	bus.InitNumber(vehicle.SigAccelCommand, 0)
+	bus.InitNumber(vehicle.SigSteerCommand, 0)
+	bus.InitNumber(vehicle.SigVehicleSpeed, sc.InitialSpeed)
+	bus.InitNumber(vehicle.SigVehicleAccel, 0)
+	bus.InitNumber(vehicle.SigVehicleJerk, 0)
+	bus.InitNumber(vehicle.SigVehiclePosition, 0)
+	bus.InitBool(vehicle.SigVehicleStopped, sc.InitialSpeed == 0)
+	bus.InitBool(vehicle.SigInForwardMotion, sc.InitialSpeed > 0)
+	bus.InitBool(vehicle.SigInBackwardMotion, sc.InitialSpeed < 0)
+	bus.InitBool(vehicle.SigAccelFromSubsystem, false)
+	bus.InitBool(vehicle.SigSteerFromSubsystem, false)
+	bus.InitBool(vehicle.SigAccelSteeringAgreement, true)
+	bus.InitNumber(vehicle.SigObjectDistance, 1e9)
+	bus.InitNumber(vehicle.SigRearObjectDistance, 1e9)
+	for _, f := range vehicle.FeatureNames {
+		bus.InitBool(vehicle.SigActive(f), false)
+		bus.InitNumber(vehicle.SigAccelRequest(f), 0)
+		bus.InitBool(vehicle.SigRequestingAccel(f), false)
+		bus.InitNumber(vehicle.SigSteerRequest(f), 0)
+		bus.InitBool(vehicle.SigRequestingSteer(f), false)
+		bus.InitNumber(vehicle.SigRequestJerk(f), 0)
+		bus.InitBool(vehicle.SigSelected(f), false)
+	}
+
+	driver := &vehicle.Driver{Schedule: sc.Driver, InitialGear: sc.Gear}
+	ca := vehicle.NewCollisionAvoidance()
+	rca := vehicle.NewRearCollisionAvoidance()
+	acc := vehicle.NewAdaptiveCruiseControl()
+	acc.EngageWithoutChecks = !sc.ACCDirectionCheck
+	pa := vehicle.NewParkAssist()
+	arbiter := vehicle.NewArbiter()
+	if opts.CorrectDefects {
+		ca.IntermittentBraking = false
+		rca.NeverEngages = false
+		acc.ControlWhenNotEngaged = false
+		acc.EngageWithoutChecks = false
+		acc.DecelWhileLCA = false
+		pa.SpuriousRequests = false
+		arbiter.ReversedSteeringPriority = false
+		arbiter.SteeringStageOverridesAccel = false
+		arbiter.EnabledFeaturesJoinSteering = false
+		arbiter.PACommandMismatch = false
+		arbiter.OverrideCheckDelay = 0
+	}
+
+	s.Add(
+		driver,
+		&vehicle.Object{InitialDistance: sc.ObjectDistance, Speed: sc.ObjectSpeed},
+		ca,
+		rca,
+		acc,
+		vehicle.NewLaneChangeAssist(),
+		pa,
+		arbiter,
+		&vehicle.Dynamics{InitialSpeed: sc.InitialSpeed},
+	)
+
+	suite := BuildSuite(Period)
+	s.OnStep(func(_ time.Duration, st temporal.State) { suite.Observe(st) })
+	s.StopWhen(func(_ time.Duration, st temporal.State) bool { return st.Bool(vehicle.SigCollision) })
+
+	duration := sc.Duration
+	if duration <= 0 {
+		duration = 20 * time.Second
+	}
+	trace := s.Run(duration)
+	suite.Finish()
+
+	collision := trace.Len() > 0 && trace.Last().Bool(vehicle.SigCollision)
+	return Result{
+		Scenario:   sc,
+		Trace:      trace,
+		Suite:      suite,
+		Detections: suite.Classify(),
+		Summary:    suite.Summary(),
+		Collision:  collision,
+	}
+}
+
+// RunAll executes every scenario and returns the results in scenario order.
+func RunAll() []Result {
+	scs := Scenarios()
+	out := make([]Result, 0, len(scs))
+	for _, sc := range scs {
+		out = append(out, Run(sc))
+	}
+	return out
+}

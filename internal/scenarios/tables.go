@@ -1,0 +1,133 @@
+package scenarios
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/monitor"
+)
+
+// RenderViolationTable renders the Appendix D violation table for one
+// scenario: every goal and subgoal that was violated, where it was
+// monitored, and the start time and duration of each violation.
+func RenderViolationTable(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario %d: %s\n", r.Scenario.Number, r.Scenario.Description)
+	fmt.Fprintf(&b, "Simulated %.3f s of %.0f s", float64(r.Trace.Len())*Period.Seconds(), r.Scenario.Duration.Seconds())
+	if r.Collision {
+		fmt.Fprintf(&b, " (terminated early: collision)")
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, strings.Repeat("-", 110))
+	report := r.Suite.Report()
+	if len(report) == 0 {
+		fmt.Fprintln(&b, "(no goal or subgoal violations)")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-58s %-10s %-10s %s\n", "Goal/Subgoal", "Location", "Count", "Violations (start, duration)")
+	for _, row := range report {
+		var spans []string
+		for i, iv := range row.Violations {
+			if i >= 4 {
+				spans = append(spans, fmt.Sprintf("(+%d more)", len(row.Violations)-i))
+				break
+			}
+			spans = append(spans, fmt.Sprintf("%.3fs/%s", iv.StartTime(row.Period).Seconds(), iv.Duration(row.Period)))
+		}
+		fmt.Fprintf(&b, "%-58s %-10s %-10d %s\n", row.GoalName, row.Location, len(row.Violations), strings.Join(spans, "  "))
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "Classification: %s\n", r.Summary)
+	return b.String()
+}
+
+// RenderClassificationDetail lists every hit, false negative and false
+// positive of a scenario, grouped by system goal.
+func RenderClassificationDetail(r Result) string {
+	var b strings.Builder
+	names := make([]string, 0, len(r.Detections))
+	for name := range r.Detections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ds := r.Detections[name]
+		if len(ds) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s\n", name)
+		for _, d := range ds {
+			switch d.Kind {
+			case monitor.Hit:
+				fmt.Fprintf(&b, "  hit: goal violation at %s matched by %s\n",
+					d.Interval, strings.Join(d.MatchedSubgoals, ", "))
+			case monitor.FalseNegative:
+				fmt.Fprintf(&b, "  false negative: goal violation at %s with no corresponding subgoal violation\n", d.Interval)
+			case monitor.FalsePositive:
+				fmt.Fprintf(&b, "  false positive: subgoal %s violated at %s (%s) with no goal violation\n",
+					d.GoalName, d.Interval, d.Location)
+			}
+		}
+	}
+	if b.Len() == 0 {
+		return "(no detections)\n"
+	}
+	return b.String()
+}
+
+// SummaryRow is one row of the cross-scenario summary table.
+type SummaryRow struct {
+	// Scenario is the thesis scenario number.
+	Scenario int
+	// GoalViolations counts distinct system-goal violation intervals.
+	GoalViolations int
+	// SubgoalViolations counts distinct subgoal violation intervals.
+	SubgoalViolations int
+	// Summary is the hit / false-negative / false-positive classification.
+	Summary monitor.Summary
+	// Collision reports early termination on collision.
+	Collision bool
+}
+
+// Summarize builds the cross-scenario summary from a set of results.
+func Summarize(results []Result) []SummaryRow {
+	rows := make([]SummaryRow, 0, len(results))
+	for _, r := range results {
+		row := SummaryRow{Scenario: r.Scenario.Number, Summary: r.Summary, Collision: r.Collision}
+		for _, h := range r.Suite.Hierarchies() {
+			row.GoalViolations += h.Parent.ViolationCount()
+			for _, c := range h.Children {
+				row.SubgoalViolations += c.ViolationCount()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderSummary renders the cross-scenario summary table.
+func RenderSummary(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-6s %-10s %-13s %-6s %-8s %-8s\n",
+		"Scenario", "Goal", "Subgoal", "Collision", "Hits", "FalseNeg", "FalsePos")
+	fmt.Fprintf(&b, "%-9s %-6s %-10s\n", "", "viol.", "violations")
+	fmt.Fprintln(&b, strings.Repeat("-", 70))
+	for _, row := range Summarize(results) {
+		collision := ""
+		if row.Collision {
+			collision = "yes"
+		}
+		fmt.Fprintf(&b, "%-9d %-6d %-10d %-13s %-6d %-8d %-8d\n",
+			row.Scenario, row.GoalViolations, row.SubgoalViolations, collision,
+			row.Summary.Hits, row.Summary.FalseNegatives, row.Summary.FalsePositives)
+	}
+	var total monitor.Summary
+	for _, r := range results {
+		total = total.Add(r.Summary)
+	}
+	fmt.Fprintln(&b, strings.Repeat("-", 70))
+	fmt.Fprintf(&b, "Overall: %s\n", total)
+	fmt.Fprintf(&b, "Interpretation: %s\n", total.CompositionEvidence())
+	return b.String()
+}

@@ -1,0 +1,171 @@
+// Package sim provides the fixed-step discrete-time simulation kernel used
+// to evaluate the thesis' systems: the distributed elevator of Chapter 4 and
+// the semi-autonomous vehicle of Chapter 5 (where it stands in for the
+// CarSim/Simulink environment).
+//
+// Components exchange data through a Bus of named signals.  A value written
+// during one step becomes visible to readers at the next step, matching the
+// KAOS convention — used throughout the thesis — that monitored values are
+// observed one state late.  The kernel records a temporal.Trace of the
+// committed state at every step, which the monitor package and the figure
+// extractors consume.
+package sim
+
+import (
+	"time"
+
+	"repro/internal/temporal"
+)
+
+// Component is a simulated subsystem that is stepped once per state period.
+type Component interface {
+	// Name identifies the component (used for diagnostics).
+	Name() string
+	// Step advances the component by one state period.  The component
+	// reads the bus values committed at the previous step and writes its
+	// outputs for the next step.
+	Step(now time.Duration, bus *Bus)
+}
+
+// Bus is the shared-variable / network abstraction between components.
+// Reads observe the values committed at the end of the previous step; writes
+// are buffered and become visible after the current step commits.
+type Bus struct {
+	current temporal.State
+	pending temporal.State
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{current: temporal.NewState(), pending: temporal.NewState()}
+}
+
+// Read returns the visible value of a signal (invalid Value when absent).
+func (b *Bus) Read(name string) temporal.Value { return b.current.Get(name) }
+
+// ReadNumber returns the visible numeric value of a signal (NaN if absent).
+func (b *Bus) ReadNumber(name string) float64 { return b.current.Number(name) }
+
+// ReadBool returns the visible boolean value of a signal.
+func (b *Bus) ReadBool(name string) bool { return b.current.Bool(name) }
+
+// ReadString returns the visible string value of a signal.
+func (b *Bus) ReadString(name string) string { return b.current.StringVal(name) }
+
+// Has reports whether the signal has a visible value.
+func (b *Bus) Has(name string) bool { return b.current.Has(name) }
+
+// Write buffers a new value for a signal; it becomes visible next step.
+func (b *Bus) Write(name string, v temporal.Value) { b.pending.Set(name, v) }
+
+// WriteNumber buffers a numeric signal value.
+func (b *Bus) WriteNumber(name string, f float64) { b.pending.SetNumber(name, f) }
+
+// WriteBool buffers a boolean signal value.
+func (b *Bus) WriteBool(name string, v bool) { b.pending.SetBool(name, v) }
+
+// WriteString buffers a string signal value.
+func (b *Bus) WriteString(name, s string) { b.pending.SetString(name, s) }
+
+// Init sets a signal's initial value so that it is visible from the very
+// first step.  Call before Simulation.Run.
+func (b *Bus) Init(name string, v temporal.Value) {
+	b.current.Set(name, v)
+	b.pending.Set(name, v)
+}
+
+// InitNumber initialises a numeric signal.
+func (b *Bus) InitNumber(name string, f float64) { b.Init(name, temporal.Number(f)) }
+
+// InitBool initialises a boolean signal.
+func (b *Bus) InitBool(name string, v bool) { b.Init(name, temporal.Bool(v)) }
+
+// InitString initialises a string signal.
+func (b *Bus) InitString(name, s string) { b.Init(name, temporal.String(s)) }
+
+// commit makes all buffered writes visible.  Signals that were not written
+// this step keep their previous value (hold semantics).
+func (b *Bus) commit() {
+	for k, v := range b.pending {
+		b.current.Set(k, v)
+	}
+}
+
+// Snapshot returns an independent copy of the visible state.
+func (b *Bus) Snapshot() temporal.State { return b.current.Clone() }
+
+// StepFunc adapts a plain function into a Component.
+type StepFunc struct {
+	// ComponentName is the reported name.
+	ComponentName string
+	// Fn is invoked once per step.
+	Fn func(now time.Duration, bus *Bus)
+}
+
+// Name implements Component.
+func (s StepFunc) Name() string { return s.ComponentName }
+
+// Step implements Component.
+func (s StepFunc) Step(now time.Duration, bus *Bus) { s.Fn(now, bus) }
+
+// Simulation is a fixed-step simulation of a set of components.
+type Simulation struct {
+	// Period is the state period (1 ms by default, as in the thesis).
+	Period time.Duration
+	// Bus is the shared signal bus.
+	Bus *Bus
+
+	components []Component
+	observers  []func(now time.Duration, state temporal.State)
+	stop       func(now time.Duration, state temporal.State) bool
+}
+
+// New returns a simulation with the given state period (defaulting to the
+// thesis' 1 ms when non-positive).
+func New(period time.Duration) *Simulation {
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	return &Simulation{Period: period, Bus: NewBus()}
+}
+
+// Add registers components; they are stepped in registration order.
+func (s *Simulation) Add(cs ...Component) {
+	s.components = append(s.components, cs...)
+}
+
+// OnStep registers an observer invoked with the committed state after every
+// step (e.g. run-time goal monitors).  Observers must not mutate the state.
+func (s *Simulation) OnStep(fn func(now time.Duration, state temporal.State)) {
+	s.observers = append(s.observers, fn)
+}
+
+// StopWhen registers an early-termination predicate evaluated on the
+// committed state after every step; the thesis' scenarios terminate early
+// when the simulated vehicle model faults.
+func (s *Simulation) StopWhen(fn func(now time.Duration, state temporal.State) bool) {
+	s.stop = fn
+}
+
+// Run executes the simulation for the given duration (or until the stop
+// predicate fires) and returns the recorded trace of committed states.
+func (s *Simulation) Run(d time.Duration) *temporal.Trace {
+	steps := int(d / s.Period)
+	trace := temporal.NewTrace(s.Period)
+	for i := 0; i < steps; i++ {
+		now := time.Duration(i) * s.Period
+		for _, c := range s.components {
+			c.Step(now, s.Bus)
+		}
+		s.Bus.commit()
+		snapshot := s.Bus.Snapshot()
+		trace.Append(snapshot)
+		for _, obs := range s.observers {
+			obs(now, snapshot)
+		}
+		if s.stop != nil && s.stop(now, snapshot) {
+			break
+		}
+	}
+	return trace
+}

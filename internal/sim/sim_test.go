@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/temporal"
+)
+
+func TestBusOneStepDelay(t *testing.T) {
+	b := NewBus()
+	b.WriteNumber("x", 5)
+	if b.Has("x") {
+		t.Error("written value must not be visible before commit")
+	}
+	b.commit()
+	if got := b.ReadNumber("x"); got != 5 {
+		t.Errorf("after commit, x = %v", got)
+	}
+}
+
+func TestBusHoldSemantics(t *testing.T) {
+	b := NewBus()
+	b.InitNumber("x", 1)
+	b.commit()
+	// No write this step: the value holds.
+	b.commit()
+	if got := b.ReadNumber("x"); got != 1 {
+		t.Errorf("x should hold its value, got %v", got)
+	}
+}
+
+func TestBusInitVisibleImmediately(t *testing.T) {
+	b := NewBus()
+	b.InitBool("enabled", true)
+	b.InitString("cmd", "STOP")
+	b.InitNumber("speed", 2.5)
+	b.Init("raw", temporal.Number(7))
+	if !b.ReadBool("enabled") || b.ReadString("cmd") != "STOP" || b.ReadNumber("speed") != 2.5 || b.ReadNumber("raw") != 7 {
+		t.Error("Init values must be visible before the first commit")
+	}
+}
+
+func TestBusTypedAccessors(t *testing.T) {
+	b := NewBus()
+	b.WriteBool("flag", true)
+	b.WriteString("mode", "GO")
+	b.Write("v", temporal.Number(3))
+	b.commit()
+	if !b.ReadBool("flag") || b.ReadString("mode") != "GO" || b.Read("v").AsNumber() != 3 {
+		t.Error("typed accessors round-trip failed")
+	}
+	if b.Has("missing") {
+		t.Error("Has(missing) should be false")
+	}
+}
+
+func TestBusSnapshotIsIndependent(t *testing.T) {
+	b := NewBus()
+	b.InitNumber("x", 1)
+	snap := b.Snapshot()
+	b.WriteNumber("x", 2)
+	b.commit()
+	if snap.Number("x") != 1 {
+		t.Error("snapshot must not alias the live bus state")
+	}
+}
+
+func TestSimulationRunsComponentsInOrder(t *testing.T) {
+	s := New(time.Millisecond)
+	var order []string
+	s.Add(StepFunc{ComponentName: "first", Fn: func(time.Duration, *Bus) { order = append(order, "first") }})
+	s.Add(StepFunc{ComponentName: "second", Fn: func(time.Duration, *Bus) { order = append(order, "second") }})
+	s.Run(2 * time.Millisecond)
+	want := []string{"first", "second", "first", "second"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimulationDefaultPeriod(t *testing.T) {
+	s := New(0)
+	if s.Period != time.Millisecond {
+		t.Errorf("default period = %v", s.Period)
+	}
+}
+
+func TestStepFuncName(t *testing.T) {
+	c := StepFunc{ComponentName: "integrator"}
+	if c.Name() != "integrator" {
+		t.Errorf("Name() = %q", c.Name())
+	}
+}
+
+// TestSimulationIntegratorTrace exercises the kernel end to end with a tiny
+// closed loop: a controller commands acceleration, the plant integrates it,
+// and the trace records both signals with the one-step observation delay.
+func TestSimulationIntegratorTrace(t *testing.T) {
+	s := New(10 * time.Millisecond)
+	s.Bus.InitNumber("speed", 0)
+	s.Bus.InitNumber("accelCmd", 0)
+
+	controller := StepFunc{ComponentName: "controller", Fn: func(_ time.Duration, b *Bus) {
+		if b.ReadNumber("speed") < 1.0 {
+			b.WriteNumber("accelCmd", 10)
+		} else {
+			b.WriteNumber("accelCmd", 0)
+		}
+	}}
+	plant := StepFunc{ComponentName: "plant", Fn: func(_ time.Duration, b *Bus) {
+		dt := 0.010
+		b.WriteNumber("speed", b.ReadNumber("speed")+b.ReadNumber("accelCmd")*dt)
+	}}
+	s.Add(controller, plant)
+
+	tr := s.Run(500 * time.Millisecond)
+	if tr.Len() != 50 {
+		t.Fatalf("trace length = %d, want 50", tr.Len())
+	}
+	final := tr.Last().Number("speed")
+	if final < 0.99 || final > 1.3 {
+		t.Errorf("closed loop should settle near 1.0 m/s, got %v", final)
+	}
+	// The plant reads the command one step late: speed is still 0 at index 0.
+	if got := tr.At(0).Number("speed"); got != 0 {
+		t.Errorf("speed at step 0 = %v, want 0 (one-step delay)", got)
+	}
+	if got := tr.At(2).Number("speed"); got <= 0 {
+		t.Errorf("speed at step 2 = %v, want > 0", got)
+	}
+}
+
+func TestSimulationObserversAndStop(t *testing.T) {
+	s := New(time.Millisecond)
+	s.Bus.InitNumber("count", 0)
+	s.Add(StepFunc{ComponentName: "counter", Fn: func(_ time.Duration, b *Bus) {
+		b.WriteNumber("count", b.ReadNumber("count")+1)
+	}})
+	var observed int
+	s.OnStep(func(_ time.Duration, st temporal.State) { observed++ })
+	s.StopWhen(func(_ time.Duration, st temporal.State) bool { return st.Number("count") >= 5 })
+
+	tr := s.Run(time.Second)
+	if tr.Len() != 5 {
+		t.Fatalf("early stop should truncate the trace at 5 steps, got %d", tr.Len())
+	}
+	if observed != 5 {
+		t.Errorf("observers should run once per step, got %d", observed)
+	}
+}
+
+func TestSimulationZeroDuration(t *testing.T) {
+	s := New(time.Millisecond)
+	tr := s.Run(0)
+	if tr.Len() != 0 {
+		t.Errorf("zero-duration run should produce an empty trace, got %d", tr.Len())
+	}
+}

@@ -1,0 +1,378 @@
+package temporal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Parse parses a formula written in the library's ASCII notation.  The
+// grammar mirrors the thesis' formal goal definitions:
+//
+//	P => Q                  entailment / implication
+//	P <=> Q                 equivalence
+//	P & Q, P | Q, !P        conjunction, disjunction, negation
+//	prev(P)                 l P
+//	once(P), hist(P)        previously-exists, previously-forall
+//	became(P)               @P
+//	prevfor[200ms](P)       l n<T P
+//	prevwithin[200ms](P)    l <T P
+//	initially(P)            S0 |= P
+//	next(P), eventually(P), always(P)
+//	DoorClosed              boolean variable
+//	va.value <= 2           numeric comparison
+//	drc == 'STOP'           string (enumeration) comparison
+//	es == drs               variable-to-variable comparison
+//
+// Identifiers may contain letters, digits, '_' and '.'.  Durations use Go's
+// time.ParseDuration syntax.
+func Parse(input string) (Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("temporal: unexpected trailing input %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is like Parse but panics on error; intended for statically known
+// formulas such as those in the goal catalogues.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokNumber
+	tokString
+	tokOp
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == '[':
+			toks = append(toks, token{kind: tokLBracket, text: "[", pos: i})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBracket, text: "]", pos: i})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("temporal: unterminated string literal at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case strings.ContainsRune("<>=!&|", c):
+			j := i
+			for j < len(input) && strings.ContainsRune("<>=!&|", rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokOp, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsDigit(c) || c == '-' || c == '+':
+			j := i + 1
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.' ||
+				input[j] == 'e' || input[j] == 'E' ||
+				((input[j] == '-' || input[j] == '+') && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) ||
+				input[j] == '_' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("temporal: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return token{}, fmt.Errorf("temporal: expected %s at %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseFormula() (Formula, error) { return p.parseIff() }
+
+func (p *parser) parseIff() (Formula, error) {
+	left, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "<=>" {
+		p.next()
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		left = Iff(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseImplies() (Formula, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokOp && p.peek().text == "=>" {
+		p.next()
+		right, err := p.parseImplies() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Implies(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{left}
+	for (p.peek().kind == tokOp && (p.peek().text == "|" || p.peek().text == "||")) ||
+		(p.peek().kind == tokIdent && p.peek().text == "or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	if len(parts) == 1 {
+		return left, nil
+	}
+	return Or(parts...), nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{left}
+	for (p.peek().kind == tokOp && (p.peek().text == "&" || p.peek().text == "&&")) ||
+		(p.peek().kind == tokIdent && p.peek().text == "and") {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	if len(parts) == 1 {
+		return left, nil
+	}
+	return And(parts...), nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	t := p.peek()
+	if t.kind == tokOp && (t.text == "!" || t.text == "!!") {
+		p.next()
+		if t.text == "!!" {
+			inner, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(inner), nil
+	}
+	if t.kind == tokIdent {
+		switch t.text {
+		case "prev", "once", "hist", "became", "initially", "next", "eventually", "always", "not":
+			p.next()
+			inner, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "prev":
+				return Prev(inner), nil
+			case "once":
+				return Once(inner), nil
+			case "hist":
+				return Historically(inner), nil
+			case "became":
+				return Became(inner), nil
+			case "initially":
+				return Initially(inner), nil
+			case "next":
+				return Next(inner), nil
+			case "eventually":
+				return Eventually(inner), nil
+			case "always":
+				return Always(inner), nil
+			case "not":
+				return Not(inner), nil
+			}
+		case "prevfor", "prevwithin":
+			p.next()
+			if _, err := p.expect(tokLBracket, "'['"); err != nil {
+				return nil, err
+			}
+			var durText strings.Builder
+			for p.peek().kind != tokRBracket && p.peek().kind != tokEOF {
+				durText.WriteString(p.next().text)
+			}
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			d, err := time.ParseDuration(durText.String())
+			if err != nil {
+				return nil, fmt.Errorf("temporal: bad duration %q: %w", durText.String(), err)
+			}
+			inner, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if t.text == "prevfor" {
+				return PrevFor(inner, d), nil
+			}
+			return PrevWithin(inner, d), nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Formula, error) {
+	t := p.next()
+	switch t.kind {
+	case tokLParen:
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return True, nil
+		case "false":
+			return False, nil
+		}
+		// Possibly a comparison.
+		if p.peek().kind == tokOp {
+			opTok := p.peek()
+			op, ok := parseCompareOp(opTok.text)
+			if ok {
+				p.next()
+				rhs := p.next()
+				switch rhs.kind {
+				case tokNumber:
+					n, err := strconv.ParseFloat(rhs.text, 64)
+					if err != nil {
+						return nil, fmt.Errorf("temporal: bad number %q: %w", rhs.text, err)
+					}
+					return Compare(t.text, op, Number(n)), nil
+				case tokString:
+					return Compare(t.text, op, String(rhs.text)), nil
+				case tokIdent:
+					switch rhs.text {
+					case "true":
+						return Compare(t.text, op, Bool(true)), nil
+					case "false":
+						return Compare(t.text, op, Bool(false)), nil
+					default:
+						return CompareVars(t.text, op, rhs.text), nil
+					}
+				default:
+					return nil, fmt.Errorf("temporal: expected comparison operand at %d, got %q", rhs.pos, rhs.text)
+				}
+			}
+		}
+		return Var(t.text), nil
+	default:
+		return nil, fmt.Errorf("temporal: unexpected token %q at %d", t.text, t.pos)
+	}
+}
+
+func parseCompareOp(s string) (CompareOp, bool) {
+	switch s {
+	case "==", "=":
+		return OpEq, true
+	case "!=":
+		return OpNe, true
+	case "<":
+		return OpLt, true
+	case "<=":
+		return OpLe, true
+	case ">":
+		return OpGt, true
+	case ">=":
+		return OpGe, true
+	default:
+		return 0, false
+	}
+}

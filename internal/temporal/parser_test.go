@@ -1,0 +1,239 @@
+package temporal
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseAtoms(t *testing.T) {
+	tr := NewTrace(time.Millisecond)
+	tr.Append(NewState().
+		SetBool("DoorClosed", true).
+		SetNumber("va.value", 1.5).
+		SetString("drc", "STOP").
+		SetNumber("limit", 2))
+
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{"true", true},
+		{"false", false},
+		{"DoorClosed", true},
+		{"!DoorClosed", false},
+		{"va.value <= 2", true},
+		{"va.value > 2", false},
+		{"va.value >= 1.5", true},
+		{"va.value < 1.5", false},
+		{"va.value != 1.5", false},
+		{"drc == 'STOP'", true},
+		{"drc != 'STOP'", false},
+		{"va.value <= limit", true},
+		{"DoorClosed == true", true},
+		{"DoorClosed == false", false},
+		{"missing", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			f, err := Parse(tt.expr)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.expr, err)
+			}
+			if got := f.Eval(tr, 0); got != tt.want {
+				t.Errorf("Eval(%q) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseConnectivesAndPrecedence(t *testing.T) {
+	tr := boolTrace(t, map[string][]bool{
+		"A": {true},
+		"B": {false},
+		"C": {true},
+	})
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{"A & B", false},
+		{"A | B", true},
+		{"A and C", true},
+		{"A or B", true},
+		{"A & B | C", true},   // (A&B) | C
+		{"A & (B | C)", true}, // A & (B|C)
+		{"B => A", true},      // implication
+		{"A => B", false},
+		{"A <=> C", true},
+		{"A <=> B", false},
+		{"!B & A", true},
+		{"A => B => C", true}, // right assoc: A => (B => C)
+		{"A && C", true},
+		{"A || B", true},
+		{"not B", true},
+		{"!!A", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			f, err := Parse(tt.expr)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.expr, err)
+			}
+			if got := f.Eval(tr, 0); got != tt.want {
+				t.Errorf("Eval(%q) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseTemporalOperators(t *testing.T) {
+	f, err := Parse("prev(A) & once(B) & hist(C) & became(D) & initially(E)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A", "B", "C", "D", "E"}
+	if got := f.Vars(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Vars() = %v, want %v", got, want)
+	}
+	if !IsPastTime(f) {
+		t.Error("parsed formula should be past-time")
+	}
+
+	g, err := Parse("eventually(A) | next(B) | always(C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsPastTime(g) {
+		t.Error("future operators should parse as future-time formulas")
+	}
+}
+
+func TestParseBoundedOperators(t *testing.T) {
+	tr := boolTrace(t, map[string][]bool{"P": {true, true, true, false}})
+	f, err := Parse("prevfor[2ms](P)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, false, true, true}
+	if got := evalAll(f, tr); !reflect.DeepEqual(got, want) {
+		t.Errorf("prevfor = %v, want %v", got, want)
+	}
+
+	g, err := Parse("prevwithin[200ms](P)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Eval(tr, 3) {
+		t.Error("prevwithin[200ms](P) should hold at index 3")
+	}
+}
+
+func TestParseThesisGoalFormulas(t *testing.T) {
+	// Representative formal definitions from the thesis, written in the
+	// library's ASCII notation.
+	exprs := []string{
+		// Goal 1, Achieve[AutoAccelBelowThreshold]
+		"va.sourceIsSubsystem => va.value <= 2",
+		// Maintain[DoorClosedOrElevatorStopped]
+		"dc | IsStopped_es",
+		// Subgoal from Table 4.4
+		"(prev(!IsStopped_es | drc == 'GO') & prev(!db)) => dmc == 'CLOSE'",
+		// Maintain[DriveStoppedWhenOverweight]
+		"prev(ew > wt) => IsStopped_es",
+		// Achieve[StopBeforeHoistwayUpperLimit]
+		"prev(etp >= 390.5) => drc == 'STOP'",
+	}
+	for _, e := range exprs {
+		if _, err := Parse(e); err != nil {
+			t.Errorf("Parse(%q): %v", e, err)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// Parsing the String() form of a parsed formula yields an equivalent
+	// formula (checked over a small trace).
+	exprs := []string{
+		"(A & B) => prev(C)",
+		"once(A) | hist(!B)",
+		"became(A) <=> (A & !prev(A))",
+		"x <= 2 & y == 'GO'",
+	}
+	tr := NewTrace(time.Millisecond)
+	for i := 0; i < 6; i++ {
+		tr.Append(NewState().
+			SetBool("A", i%2 == 0).
+			SetBool("B", i%3 == 0).
+			SetBool("C", i%4 == 0).
+			SetNumber("x", float64(i)).
+			SetString("y", map[bool]string{true: "GO", false: "STOP"}[i%2 == 0]))
+	}
+	for _, e := range exprs {
+		f1, err := Parse(e)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", e, err)
+		}
+		f2, err := Parse(f1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", f1.String(), err)
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if f1.Eval(tr, i) != f2.Eval(tr, i) {
+				t.Errorf("round-trip of %q differs at index %d", e, i)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(A",
+		"A &",
+		"A => ",
+		"A ~ B",
+		"prevfor[](A)",
+		"prevfor[2ms(A)",
+		"prevfor[xyz](A)",
+		"A == ",
+		"'unterminated",
+		"A B",
+		"2abc",
+		"== B",
+		"A == ==",
+	}
+	for _, e := range bad {
+		if _, err := Parse(e); err == nil {
+			t.Errorf("Parse(%q) should fail", e)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on a bad formula")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestMustParseOK(t *testing.T) {
+	f := MustParse("A => B")
+	if f == nil {
+		t.Fatal("MustParse returned nil")
+	}
+}
+
+func TestParseNumberForms(t *testing.T) {
+	tr := NewTrace(time.Millisecond)
+	tr.Append(NewState().SetNumber("x", -2.5e-1))
+	f, err := Parse("x == -0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Eval(tr, 0) {
+		t.Error("negative scientific-notation number did not parse correctly")
+	}
+}

@@ -1,0 +1,173 @@
+package temporal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// State is a snapshot of all system state variables at one instant.  The
+// thesis models the composite system as a set of named state variables whose
+// values change from state to state; each simulation step produces one State.
+type State map[string]Value
+
+// NewState returns an empty state snapshot.
+func NewState() State { return make(State) }
+
+// Clone returns an independent copy of the state.
+func (s State) Clone() State {
+	c := make(State, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Get returns the value of a variable.  Missing variables return an invalid
+// Value, which evaluates as false / NaN, matching the thesis' convention that
+// unknown state cannot be used to demonstrate goal satisfaction.
+func (s State) Get(name string) Value { return s[name] }
+
+// Has reports whether the variable has a value in this state.
+func (s State) Has(name string) bool {
+	_, ok := s[name]
+	return ok
+}
+
+// Set stores a value for a variable and returns the state for chaining.
+func (s State) Set(name string, v Value) State {
+	s[name] = v
+	return s
+}
+
+// SetBool stores a boolean variable.
+func (s State) SetBool(name string, b bool) State { return s.Set(name, Bool(b)) }
+
+// SetNumber stores a numeric variable.
+func (s State) SetNumber(name string, f float64) State { return s.Set(name, Number(f)) }
+
+// SetString stores a string variable.
+func (s State) SetString(name string, str string) State { return s.Set(name, String(str)) }
+
+// Bool reads a boolean variable (false when absent).
+func (s State) Bool(name string) bool { return s.Get(name).AsBool() }
+
+// Number reads a numeric variable (NaN when absent).
+func (s State) Number(name string) float64 { return s.Get(name).AsNumber() }
+
+// StringVal reads a string variable ("" when absent).
+func (s State) StringVal(name string) string { return s.Get(name).AsString() }
+
+// Names returns the sorted variable names present in the state.
+func (s State) Names() []string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the state as "var=value" pairs in sorted order.
+func (s State) String() string {
+	parts := make([]string, 0, len(s))
+	for _, n := range s.Names() {
+		parts = append(parts, fmt.Sprintf("%s=%s", n, s[n]))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Trace is a finite, fixed-period sequence of states.  Index 0 is the
+// initial state S0 referenced by the Initially operator.
+type Trace struct {
+	// Period is the sampling period between consecutive states.  The
+	// thesis' vehicle evaluation uses a 1 ms state period.
+	Period time.Duration
+
+	states []State
+}
+
+// NewTrace returns an empty trace with the given sampling period.  A zero
+// period defaults to one millisecond, the state period used in the thesis.
+func NewTrace(period time.Duration) *Trace {
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	return &Trace{Period: period}
+}
+
+// Append adds a state snapshot to the end of the trace.  The state is stored
+// by reference; callers that keep mutating a working state must Clone first.
+func (t *Trace) Append(s State) { t.states = append(t.states, s) }
+
+// AppendClone adds an independent copy of the state to the trace.
+func (t *Trace) AppendClone(s State) { t.states = append(t.states, s.Clone()) }
+
+// Len returns the number of states in the trace.
+func (t *Trace) Len() int { return len(t.states) }
+
+// At returns the state at index i.  It panics when i is out of range, as an
+// out-of-range access indicates a programming error in an evaluator.
+func (t *Trace) At(i int) State { return t.states[i] }
+
+// Last returns the most recent state, or nil for an empty trace.
+func (t *Trace) Last() State {
+	if len(t.states) == 0 {
+		return nil
+	}
+	return t.states[len(t.states)-1]
+}
+
+// Time returns the simulation time of state index i.
+func (t *Trace) Time(i int) time.Duration { return time.Duration(i) * t.Period }
+
+// StepsFor converts a duration into a whole number of trace steps, rounding
+// up so that bounded-past operators never under-approximate their window.
+func (t *Trace) StepsFor(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	p := t.Period
+	if p <= 0 {
+		p = time.Millisecond
+	}
+	steps := int((d + p - 1) / p)
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}
+
+// Slice returns a shallow sub-trace covering states [from, to).
+func (t *Trace) Slice(from, to int) *Trace {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(t.states) {
+		to = len(t.states)
+	}
+	if from > to {
+		from = to
+	}
+	return &Trace{Period: t.Period, states: t.states[from:to]}
+}
+
+// Series extracts the numeric time series of one variable, useful for
+// regenerating the thesis' scenario figures.
+func (t *Trace) Series(name string) []float64 {
+	out := make([]float64, len(t.states))
+	for i, s := range t.states {
+		out[i] = s.Number(name)
+	}
+	return out
+}
+
+// BoolSeries extracts the boolean time series of one variable.
+func (t *Trace) BoolSeries(name string) []bool {
+	out := make([]bool, len(t.states))
+	for i, s := range t.states {
+		out[i] = s.Bool(name)
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package temporal
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stepper is an incremental evaluator for a past-time formula.  A Stepper
+// consumes one state per simulation step and reports whether the formula
+// holds at that step, without re-scanning the trace.  Run-time goal monitors
+// are built on Steppers so that monitoring cost is constant per state, which
+// is what makes the thesis' hierarchical monitoring practical in an embedded
+// setting.
+type Stepper struct {
+	root    stepNode
+	current *Trace // single reusable state used to evaluate atoms
+	steps   int
+}
+
+// Compile builds an incremental evaluator for a past-time formula.  The
+// period is the simulation state period used to convert the bounded-past
+// operators' durations into step counts; a zero period defaults to 1 ms.
+// Compile returns an error when the formula contains future-time operators,
+// which cannot be monitored incrementally.
+func Compile(f Formula, period time.Duration) (*Stepper, error) {
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	if !IsPastTime(f) {
+		return nil, fmt.Errorf("temporal: formula %q contains future-time operators and cannot be compiled to a run-time monitor", f)
+	}
+	scratch := NewTrace(period)
+	scratch.Append(NewState())
+	s := &Stepper{current: scratch}
+	root, err := s.compile(f, period)
+	if err != nil {
+		return nil, err
+	}
+	s.root = root
+	return s, nil
+}
+
+// MustCompile is like Compile but panics on error.  It is intended for
+// statically known formulas such as the thesis' goal catalogue.
+func MustCompile(f Formula, period time.Duration) *Stepper {
+	s, err := Compile(f, period)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Step feeds the next state and reports whether the formula holds at it.
+func (s *Stepper) Step(st State) bool {
+	s.current.states[0] = st
+	r := s.root.step(s)
+	s.steps++
+	return r
+}
+
+// Steps returns the number of states consumed so far.
+func (s *Stepper) Steps() int { return s.steps }
+
+// Reset clears all temporal operator state so the Stepper can be reused for
+// a fresh trace.
+func (s *Stepper) Reset() {
+	s.steps = 0
+	s.root.reset()
+}
+
+// stepNode is one node of the compiled evaluator tree.
+type stepNode interface {
+	step(s *Stepper) bool
+	reset()
+}
+
+func (s *Stepper) compile(f Formula, period time.Duration) (stepNode, error) {
+	switch ff := f.(type) {
+	case constFormula, varFormula, compareFormula, compareVarsFormula, predFormula:
+		return &atomNode{f: f}, nil
+	case notFormula:
+		c, err := s.compile(ff.f, period)
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{c: c}, nil
+	case andFormula:
+		cs, err := s.compileAll(ff.fs, period)
+		if err != nil {
+			return nil, err
+		}
+		return &andNode{cs: cs}, nil
+	case orFormula:
+		cs, err := s.compileAll(ff.fs, period)
+		if err != nil {
+			return nil, err
+		}
+		return &orNode{cs: cs}, nil
+	case impliesFormula:
+		a, err := s.compile(ff.ant, period)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.compile(ff.con, period)
+		if err != nil {
+			return nil, err
+		}
+		return &impliesNode{a: a, b: b}, nil
+	case iffFormula:
+		a, err := s.compile(ff.a, period)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.compile(ff.b, period)
+		if err != nil {
+			return nil, err
+		}
+		return &iffNode{a: a, b: b}, nil
+	case prevFormula:
+		c, err := s.compile(ff.f, period)
+		if err != nil {
+			return nil, err
+		}
+		return &prevNode{c: c}, nil
+	case onceFormula:
+		c, err := s.compile(ff.f, period)
+		if err != nil {
+			return nil, err
+		}
+		return &onceNode{c: c}, nil
+	case historicallyFormula:
+		c, err := s.compile(ff.f, period)
+		if err != nil {
+			return nil, err
+		}
+		return &histNode{c: c, allPrev: true}, nil
+	case becameFormula:
+		c, err := s.compile(ff.f, period)
+		if err != nil {
+			return nil, err
+		}
+		return &becameNode{c: c}, nil
+	case prevForFormula:
+		c, err := s.compile(ff.f, period)
+		if err != nil {
+			return nil, err
+		}
+		return &prevForNode{c: c, n: stepsFor(ff.d, period)}, nil
+	case prevWithinFormula:
+		c, err := s.compile(ff.f, period)
+		if err != nil {
+			return nil, err
+		}
+		return &prevWithinNode{c: c, n: stepsFor(ff.d, period), lastTrue: -1}, nil
+	case initiallyFormula:
+		c, err := s.compile(ff.f, period)
+		if err != nil {
+			return nil, err
+		}
+		return &initiallyNode{c: c}, nil
+	default:
+		return nil, fmt.Errorf("temporal: cannot compile formula node %T", f)
+	}
+}
+
+func (s *Stepper) compileAll(fs []Formula, period time.Duration) ([]stepNode, error) {
+	out := make([]stepNode, len(fs))
+	for i, f := range fs {
+		c, err := s.compile(f, period)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+func stepsFor(d, period time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	steps := int((d + period - 1) / period)
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}
+
+type atomNode struct{ f Formula }
+
+func (n *atomNode) step(s *Stepper) bool { return n.f.Eval(s.current, 0) }
+func (n *atomNode) reset()               {}
+
+type notNode struct{ c stepNode }
+
+func (n *notNode) step(s *Stepper) bool { return !n.c.step(s) }
+func (n *notNode) reset()               { n.c.reset() }
+
+type andNode struct{ cs []stepNode }
+
+func (n *andNode) step(s *Stepper) bool {
+	// Every child is stepped even after the result is known so that all
+	// temporal sub-operators advance their internal state.
+	out := true
+	for _, c := range n.cs {
+		if !c.step(s) {
+			out = false
+		}
+	}
+	return out
+}
+func (n *andNode) reset() {
+	for _, c := range n.cs {
+		c.reset()
+	}
+}
+
+type orNode struct{ cs []stepNode }
+
+func (n *orNode) step(s *Stepper) bool {
+	out := false
+	for _, c := range n.cs {
+		if c.step(s) {
+			out = true
+		}
+	}
+	return out
+}
+func (n *orNode) reset() {
+	for _, c := range n.cs {
+		c.reset()
+	}
+}
+
+type impliesNode struct{ a, b stepNode }
+
+func (n *impliesNode) step(s *Stepper) bool {
+	av := n.a.step(s)
+	bv := n.b.step(s)
+	return !av || bv
+}
+func (n *impliesNode) reset() { n.a.reset(); n.b.reset() }
+
+type iffNode struct{ a, b stepNode }
+
+func (n *iffNode) step(s *Stepper) bool {
+	av := n.a.step(s)
+	bv := n.b.step(s)
+	return av == bv
+}
+func (n *iffNode) reset() { n.a.reset(); n.b.reset() }
+
+type prevNode struct {
+	c    stepNode
+	prev bool
+}
+
+func (n *prevNode) step(s *Stepper) bool {
+	out := s.steps > 0 && n.prev
+	n.prev = n.c.step(s)
+	return out
+}
+func (n *prevNode) reset() { n.prev = false }
+
+type onceNode struct {
+	c    stepNode
+	seen bool
+}
+
+func (n *onceNode) step(s *Stepper) bool {
+	out := n.seen
+	if n.c.step(s) {
+		n.seen = true
+	}
+	return out
+}
+func (n *onceNode) reset() { n.seen = false; n.c.reset() }
+
+type histNode struct {
+	c       stepNode
+	allPrev bool
+}
+
+func (n *histNode) step(s *Stepper) bool {
+	out := n.allPrev
+	if !n.c.step(s) {
+		n.allPrev = false
+	}
+	return out
+}
+func (n *histNode) reset() { n.allPrev = true; n.c.reset() }
+
+type becameNode struct {
+	c        stepNode
+	prevTrue bool
+}
+
+func (n *becameNode) step(s *Stepper) bool {
+	cur := n.c.step(s)
+	out := cur && !n.prevTrue
+	n.prevTrue = cur
+	return out
+}
+func (n *becameNode) reset() { n.prevTrue = false; n.c.reset() }
+
+type prevForNode struct {
+	c   stepNode
+	n   int
+	run int
+}
+
+func (n *prevForNode) step(s *Stepper) bool {
+	out := n.n == 0 || (s.steps >= n.n && n.run >= n.n)
+	if n.c.step(s) {
+		n.run++
+	} else {
+		n.run = 0
+	}
+	return out
+}
+func (n *prevForNode) reset() { n.run = 0; n.c.reset() }
+
+type prevWithinNode struct {
+	c        stepNode
+	n        int
+	lastTrue int
+}
+
+func (n *prevWithinNode) step(s *Stepper) bool {
+	i := s.steps
+	out := n.lastTrue >= 0 && i-n.lastTrue <= n.n
+	if n.c.step(s) {
+		n.lastTrue = i
+	}
+	return out
+}
+func (n *prevWithinNode) reset() { n.lastTrue = -1; n.c.reset() }
+
+type initiallyNode struct {
+	c       stepNode
+	have    bool
+	initial bool
+}
+
+func (n *initiallyNode) step(s *Stepper) bool {
+	cur := n.c.step(s)
+	if !n.have {
+		n.initial = cur
+		n.have = true
+	}
+	return n.initial
+}
+func (n *initiallyNode) reset() { n.have = false; n.initial = false; n.c.reset() }

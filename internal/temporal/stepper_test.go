@@ -1,0 +1,167 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCompileRejectsFutureTime(t *testing.T) {
+	if _, err := Compile(Eventually(Var("A")), time.Millisecond); err == nil {
+		t.Fatal("Compile should reject future-time formulas")
+	}
+	if _, err := Compile(Implies(Var("A"), Next(Var("B"))), time.Millisecond); err == nil {
+		t.Fatal("Compile should reject formulas containing next()")
+	}
+	if _, err := Compile(Always(Var("A")), time.Millisecond); err == nil {
+		t.Fatal("Compile should reject formulas containing always()")
+	}
+}
+
+func TestMustCompilePanicsOnFuture(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile should panic for a future-time formula")
+		}
+	}()
+	MustCompile(Eventually(Var("A")), time.Millisecond)
+}
+
+func TestStepperDefaultPeriod(t *testing.T) {
+	s, err := Compile(Var("A"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Step(NewState().SetBool("A", true)) {
+		t.Error("step should be true")
+	}
+	if s.Steps() != 1 {
+		t.Errorf("Steps() = %d, want 1", s.Steps())
+	}
+}
+
+// stepperMatchesBatch checks that incremental evaluation matches the batch
+// trace semantics for every index of the trace.
+func stepperMatchesBatch(t *testing.T, f Formula, tr *Trace) {
+	t.Helper()
+	s, err := Compile(f, tr.Period)
+	if err != nil {
+		t.Fatalf("compile %s: %v", f, err)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		want := f.Eval(tr, i)
+		got := s.Step(tr.At(i))
+		if got != want {
+			t.Fatalf("formula %s at index %d: stepper=%v batch=%v", f, i, got, want)
+		}
+	}
+}
+
+func TestStepperMatchesBatchSemantics(t *testing.T) {
+	tr := boolTrace(t, map[string][]bool{
+		"A": {false, true, true, false, true, true, true, false},
+		"B": {true, false, true, true, false, true, false, false},
+	})
+	formulas := []Formula{
+		Var("A"),
+		Not(Var("A")),
+		And(Var("A"), Var("B")),
+		Or(Var("A"), Var("B")),
+		Implies(Var("A"), Var("B")),
+		Iff(Var("A"), Var("B")),
+		Prev(Var("A")),
+		Once(Var("A")),
+		Historically(Var("B")),
+		Became(Var("A")),
+		Initially(Var("B")),
+		PrevFor(Var("A"), 2*time.Millisecond),
+		PrevWithin(Var("A"), 3*time.Millisecond),
+		PrevFor(Var("A"), 0),
+		Implies(Prev(Var("A")), Or(Var("B"), Became(Var("A")))),
+		And(Once(Var("A")), Not(Historically(Var("B"))), PrevWithin(Var("B"), 2*time.Millisecond)),
+	}
+	for _, f := range formulas {
+		t.Run(f.String(), func(t *testing.T) {
+			stepperMatchesBatch(t, f, tr)
+		})
+	}
+}
+
+func TestStepperNumericFormulas(t *testing.T) {
+	tr := NewTrace(time.Millisecond)
+	vals := []float64{0, 1.5, 2.5, 1.9, 3.0, 0.5}
+	for _, v := range vals {
+		tr.Append(NewState().SetNumber("accel", v).SetString("src", "CA"))
+	}
+	f := Implies(Eq("src", String("CA")), Le("accel", 2))
+	stepperMatchesBatch(t, f, tr)
+}
+
+func TestStepperReset(t *testing.T) {
+	f := Once(Var("A"))
+	s := MustCompile(f, time.Millisecond)
+	s.Step(NewState().SetBool("A", true))
+	if !s.Step(NewState().SetBool("A", false)) {
+		t.Fatal("Once should hold after A was true")
+	}
+	s.Reset()
+	if s.Steps() != 0 {
+		t.Errorf("Steps() after reset = %d", s.Steps())
+	}
+	if s.Step(NewState().SetBool("A", false)) {
+		t.Fatal("after Reset, Once should be false again")
+	}
+}
+
+func TestStepperResetAllNodeKinds(t *testing.T) {
+	f := And(
+		Prev(Var("A")),
+		Or(Once(Var("A")), Historically(Var("B"))),
+		Implies(Became(Var("A")), Var("B")),
+		Iff(Initially(Var("A")), Var("A")),
+		Not(PrevFor(Var("A"), 2*time.Millisecond)),
+		Or(True, PrevWithin(Var("B"), 2*time.Millisecond)),
+	)
+	tr := boolTrace(t, map[string][]bool{
+		"A": {true, false, true, true},
+		"B": {true, true, false, true},
+	})
+	s := MustCompile(f, tr.Period)
+	first := make([]bool, tr.Len())
+	for i := 0; i < tr.Len(); i++ {
+		first[i] = s.Step(tr.At(i))
+	}
+	s.Reset()
+	for i := 0; i < tr.Len(); i++ {
+		if got := s.Step(tr.At(i)); got != first[i] {
+			t.Fatalf("after Reset, step %d = %v, want %v", i, got, first[i])
+		}
+	}
+}
+
+func TestPropStepperEquivalence(t *testing.T) {
+	// For random traces and a representative compound formula, the
+	// incremental stepper agrees with batch evaluation at every index.
+	formula := Implies(
+		And(Prev(Var("A")), PrevWithin(Var("B"), 4*time.Millisecond)),
+		Or(Became(Var("B")), Once(Var("A"))),
+	)
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, int(n%64)+1)
+		s, err := Compile(formula, tr.Period)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if s.Step(tr.At(i)) != formula.Eval(tr, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

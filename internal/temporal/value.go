@@ -1,0 +1,156 @@
+// Package temporal implements the past-time temporal logic used throughout
+// the thesis "System Safety as an Emergent Property in Composite Systems"
+// (Black, 2009).  Goals, subgoals and indirect-control relationships are
+// expressed as formulas over discrete-time traces of system state; the
+// operator set mirrors Figure 2.5 of the thesis.
+//
+// Time is discrete.  A Trace is a sequence of States sampled at a fixed
+// period; temporal operators such as Prev (l), Once (previous-exists),
+// Historically (previous-forall), Became (@) and the bounded-duration
+// variants quantify over state indices.  Future-time operators (Always,
+// Eventually, Next) are provided for specification and realizability
+// analysis; run-time monitors only use past-time operators, matching the
+// thesis' requirement that goals be finitely violable.
+package temporal
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind int
+
+// Value kinds.  Kinds start at one so the zero Value is distinguishable
+// from a deliberately-stored boolean false or numeric zero.
+const (
+	KindInvalid Kind = iota
+	KindBool
+	KindNumber
+	KindString
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "bool"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a dynamically typed state-variable value.  State variables in the
+// thesis range over booleans (e.g. DoorClosed), real numbers (e.g.
+// VehicleAcceleration.value) and enumerations (e.g. DriveCommand = 'STOP'),
+// so Value supports exactly those three kinds.
+type Value struct {
+	kind Kind
+	b    bool
+	f    float64
+	s    string
+}
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Number returns a numeric Value.
+func Number(f float64) Value { return Value{kind: KindNumber, f: f} }
+
+// String returns a string (enumeration) Value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value holds data of any kind.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsBool returns the boolean content.  Numeric values are truthy when
+// non-zero and string values when non-empty, so that atoms such as
+// "sw.active" work over any representation an author chose.
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindNumber:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	default:
+		return false
+	}
+}
+
+// AsNumber returns the numeric content; booleans map to 0/1 and strings to
+// NaN so that comparisons against them are always false.
+func (v Value) AsNumber() float64 {
+	switch v.kind {
+	case KindNumber:
+		return v.f
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	default:
+		return math.NaN()
+	}
+}
+
+// AsString returns the string content; non-string values are formatted.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindNumber:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return ""
+	}
+}
+
+// Equal reports whether two values are equal.  Values of different kinds are
+// never equal except that comparing a number with a bool compares 0/1.
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindBool:
+			return v.b == o.b
+		case KindNumber:
+			return v.f == o.f
+		case KindString:
+			return v.s == o.s
+		default:
+			return true
+		}
+	}
+	if (v.kind == KindNumber && o.kind == KindBool) || (v.kind == KindBool && o.kind == KindNumber) {
+		return v.AsNumber() == o.AsNumber()
+	}
+	return false
+}
+
+// GoString implements fmt.GoStringer for debugging output.
+func (v Value) GoString() string { return v.String() }
+
+// String renders the value as it appears in formal goal definitions.
+func (v Value) String() string {
+	switch v.kind {
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindNumber:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return fmt.Sprintf("'%s'", v.s)
+	default:
+		return "<invalid>"
+	}
+}

@@ -1,0 +1,150 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+	}{
+		{"bool", Bool(true), KindBool},
+		{"number", Number(3.5), KindNumber},
+		{"string", String("STOP"), KindString},
+		{"zero", Value{}, KindInvalid},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Kind(); got != tt.kind {
+				t.Fatalf("Kind() = %v, want %v", got, tt.kind)
+			}
+		})
+	}
+}
+
+func TestValueAsBool(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		want bool
+	}{
+		{"true", Bool(true), true},
+		{"false", Bool(false), false},
+		{"nonzero number", Number(2.0), true},
+		{"zero number", Number(0), false},
+		{"nonempty string", String("GO"), true},
+		{"empty string", String(""), false},
+		{"invalid", Value{}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.AsBool(); got != tt.want {
+				t.Fatalf("AsBool() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValueAsNumber(t *testing.T) {
+	if got := Number(2.5).AsNumber(); got != 2.5 {
+		t.Fatalf("Number(2.5).AsNumber() = %v", got)
+	}
+	if got := Bool(true).AsNumber(); got != 1 {
+		t.Fatalf("Bool(true).AsNumber() = %v, want 1", got)
+	}
+	if got := Bool(false).AsNumber(); got != 0 {
+		t.Fatalf("Bool(false).AsNumber() = %v, want 0", got)
+	}
+	if got := String("x").AsNumber(); !math.IsNaN(got) {
+		t.Fatalf("String.AsNumber() = %v, want NaN", got)
+	}
+}
+
+func TestValueAsString(t *testing.T) {
+	if got := String("STOP").AsString(); got != "STOP" {
+		t.Fatalf("AsString() = %q", got)
+	}
+	if got := Bool(true).AsString(); got != "true" {
+		t.Fatalf("AsString() = %q", got)
+	}
+	if got := Number(2).AsString(); got != "2" {
+		t.Fatalf("AsString() = %q", got)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"equal numbers", Number(1.5), Number(1.5), true},
+		{"unequal numbers", Number(1.5), Number(2), false},
+		{"equal strings", String("GO"), String("GO"), true},
+		{"unequal strings", String("GO"), String("STOP"), false},
+		{"equal bools", Bool(true), Bool(true), true},
+		{"bool vs number", Bool(true), Number(1), true},
+		{"bool vs number zero", Bool(false), Number(0), true},
+		{"string vs number", String("1"), Number(1), false},
+		{"invalid vs invalid", Value{}, Value{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Fatalf("Equal(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValueEqualSymmetric(t *testing.T) {
+	f := func(a, b float64, s1, s2 string, b1, b2 bool) bool {
+		vals := []Value{Number(a), Number(b), String(s1), String(s2), Bool(b1), Bool(b2)}
+		for _, x := range vals {
+			for _, y := range vals {
+				if x.Equal(y) != y.Equal(x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := String("STOP").String(); got != "'STOP'" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := Number(2.5).String(); got != "2.5" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := Bool(false).String(); got != "false" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Value{}).String(); got != "<invalid>" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Value{}).GoString(); got != "<invalid>" {
+		t.Fatalf("GoString() = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindBool:    "bool",
+		KindNumber:  "number",
+		KindString:  "string",
+		KindInvalid: "invalid",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

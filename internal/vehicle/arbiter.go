@@ -1,0 +1,245 @@
+package vehicle
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Arbiter selects the sources of the vehicle acceleration and steering
+// commands from the feature subsystem requests and the driver's inputs
+// (thesis Figure 5.1).
+//
+// The thesis' implementation arbitrated acceleration and steering
+// separately, with the steering stage's priority order reversed and the
+// steering stage determining which requests were actually passed along as
+// commands (Section 5.4.2).  Those defects are reproduced here behind
+// configuration flags, together with the delayed driver-override check that
+// lets a newly engaged feature briefly take control while a pedal is applied
+// (Scenario 4) and the Park Assist command mismatch (Scenario 9).
+type Arbiter struct {
+	// ReversedSteeringPriority enables the reversed priority order in the
+	// steering arbitration stage.
+	ReversedSteeringPriority bool
+	// SteeringStageOverridesAccel enables the defect in which the steering
+	// stage's selected source supplies the final acceleration command while
+	// the selected flags still reflect the acceleration stage.
+	SteeringStageOverridesAccel bool
+	// EnabledFeaturesJoinSteering enables the defect in which features
+	// participate in steering arbitration as soon as they are enabled or
+	// engaged, not only when they are active.
+	EnabledFeaturesJoinSteering bool
+	// PACommandMismatch halves Park Assist's acceleration request when it
+	// is passed through, producing the command/request mismatch of
+	// Figure 5.14.
+	PACommandMismatch bool
+	// OverrideCheckDelay is how long after an arbitration source change the
+	// driver-override check is skipped (the Scenario 4 defect); zero
+	// disables the defect.
+	OverrideCheckDelay time.Duration
+
+	prevCommand        float64
+	prevCandidate      string
+	candidateChangedAt time.Duration
+	started            bool
+}
+
+// NewArbiter returns an arbiter with all of the thesis' seeded defects
+// enabled.
+func NewArbiter() *Arbiter {
+	return &Arbiter{
+		ReversedSteeringPriority:    true,
+		SteeringStageOverridesAccel: true,
+		EnabledFeaturesJoinSteering: true,
+		PACommandMismatch:           true,
+		OverrideCheckDelay:          150 * time.Millisecond,
+	}
+}
+
+// Name implements sim.Component.
+func (a *Arbiter) Name() string { return "Arbiter" }
+
+// Step implements sim.Component.
+func (a *Arbiter) Step(now time.Duration, bus *sim.Bus) {
+	dt := stepSeconds(bus)
+	reverse := bus.ReadString(SigGear) == "R"
+
+	// ----- Stage 1: acceleration arbitration ---------------------------
+	driverRequest, driverRequesting := a.driverAccelRequest(bus, reverse)
+
+	accelSource := SourceNone
+	accelRequest := 0.0
+	for _, f := range FeatureNames {
+		if bus.ReadBool(SigActive(f)) && bus.ReadBool(SigRequestingAccel(f)) {
+			accelSource = f
+			accelRequest = readNumber(bus, SigAccelRequest(f))
+			break
+		}
+	}
+
+	if accelSource == SourceNone && driverRequesting {
+		accelSource = SourceDriver
+		accelRequest = driverRequest
+	}
+
+	// Track when the stage-1 candidate source last changed; the defective
+	// override check is skipped for OverrideCheckDelay after a change,
+	// which lets a newly engaged feature briefly take control while the
+	// driver is still on a pedal (the Scenario 4 behaviour).
+	if accelSource != a.prevCandidate {
+		a.candidateChangedAt = now
+		a.prevCandidate = accelSource
+	}
+
+	// Driver override (goals 5 and 6): a pedal application overrides a
+	// feature unless the feature is performing an emergency stop.
+	if accelSource != SourceNone && accelSource != SourceDriver && driverRequesting {
+		softRequest := accelRequest > HardBrakeThreshold
+		if reverse {
+			softRequest = accelRequest < -HardBrakeThreshold
+		}
+		suppressed := a.OverrideCheckDelay > 0 && now-a.candidateChangedAt < a.OverrideCheckDelay
+		if softRequest && !suppressed {
+			accelSource = SourceDriver
+			accelRequest = driverRequest
+		}
+	}
+
+	// Selected flags reflect the acceleration arbitration stage.
+	for _, f := range FeatureNames {
+		bus.WriteBool(SigSelected(f), f == accelSource)
+	}
+
+	// ----- Stage 2: steering arbitration --------------------------------
+	steerSource := SourceNone
+	steerRequest := 0.0
+	if bus.ReadBool(SigSteeringActive) {
+		steerSource = SourceDriver
+		steerRequest = readNumber(bus, SigSteeringInput)
+	} else {
+		order := a.steeringOrder()
+		for _, f := range order {
+			if a.participatesInSteering(bus, f) {
+				steerSource = f
+				// Defect: the steering command is not updated from the
+				// feature's request magnitude; it stays at zero.
+				steerRequest = 0
+				break
+			}
+		}
+	}
+
+	finalCommand := accelRequest
+	finalSource := accelSource
+	if a.SteeringStageOverridesAccel && steerSource != SourceNone && steerSource != SourceDriver {
+		// Defect: the steering stage passes along its own source's
+		// acceleration request as the final command, while the selected
+		// flags and the source tag still name the acceleration stage's
+		// choice.
+		finalCommand = readNumber(bus, SigAccelRequest(steerSource))
+		if steerSource == SourcePA && a.PACommandMismatch {
+			finalCommand *= 0.5
+		}
+	}
+
+	commandJerk := 0.0
+	if a.started && dt > 0 {
+		commandJerk = (finalCommand - a.prevCommand) / dt
+	}
+	a.prevCommand = finalCommand
+	a.started = true
+
+	fromSubsystem := finalSource != SourceDriver && finalSource != SourceNone
+
+	// Acceleration/steering agreement (goal 3): any feature that requests
+	// both and is granted either must be granted both.
+	agreement := true
+	for _, f := range FeatureNames {
+		requestsBoth := bus.ReadBool(SigRequestingAccel(f)) && bus.ReadBool(SigRequestingSteer(f))
+		if !requestsBoth {
+			continue
+		}
+		grantedAccel := accelSource == f
+		grantedSteer := steerSource == f
+		if (grantedAccel || grantedSteer) && !(grantedAccel && grantedSteer) {
+			agreement = false
+		}
+	}
+
+	bus.WriteNumber(SigAccelCommand, finalCommand)
+	bus.WriteString(SigAccelSource, finalSource)
+	bus.WriteBool(SigAccelFromSubsystem, fromSubsystem)
+	bus.WriteNumber(SigAccelCommandJerk, commandJerk)
+	bus.WriteNumber(SigSelectedRequestValue, accelRequest)
+	bus.WriteBool(SigSelectedSoftRequestFwd, fromSubsystem && accelRequest > HardBrakeThreshold)
+	bus.WriteBool(SigSelectedSoftRequestBwd, fromSubsystem && accelRequest < -HardBrakeThreshold)
+	bus.WriteNumber(SigSteerCommand, steerRequest)
+	bus.WriteString(SigSteerSource, steerSource)
+	bus.WriteBool(SigSteerFromSubsystem, steerSource != SourceDriver && steerSource != SourceNone)
+	bus.WriteBool(SigAccelSteeringAgreement, agreement)
+}
+
+// driverAccelRequest maps the pedals to a driver acceleration request.
+func (a *Arbiter) driverAccelRequest(bus *sim.Bus, reverse bool) (float64, bool) {
+	throttle := readNumber(bus, SigThrottleLevel)
+	brake := readNumber(bus, SigBrakeLevel)
+	switch {
+	case brake > 0.02:
+		if reverse {
+			return -MaxDriverBrake * brake, true
+		}
+		return MaxDriverBrake * brake, true
+	case throttle > 0.02:
+		if reverse {
+			return -MaxDriverAccel * throttle, true
+		}
+		return MaxDriverAccel * throttle, true
+	default:
+		return 0, false
+	}
+}
+
+// steeringOrder returns the steering arbitration priority order, reversed
+// when the defect is enabled.
+func (a *Arbiter) steeringOrder() []string {
+	order := append([]string(nil), FeatureNames...)
+	if a.ReversedSteeringPriority {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	return order
+}
+
+// participatesInSteering reports whether the feature takes part in the
+// steering arbitration stage.  Only LCA and PA control steering; with the
+// seeded defect they participate as soon as they are enabled rather than
+// only when active.
+func (a *Arbiter) participatesInSteering(bus *sim.Bus, feature string) bool {
+	if feature != SourceLCA && feature != SourcePA {
+		return false
+	}
+	if bus.ReadBool(SigActive(feature)) && bus.ReadBool(SigRequestingSteer(feature)) {
+		return true
+	}
+	if !a.EnabledFeaturesJoinSteering {
+		return false
+	}
+	switch feature {
+	case SourceLCA:
+		return bus.ReadBool(SigLCAEnabled) && bus.ReadBool(SigActive(SourceLCA))
+	case SourcePA:
+		return bus.ReadBool(SigPAEnabled)
+	default:
+		return false
+	}
+}
+
+func readNumber(bus *sim.Bus, name string) float64 {
+	v := bus.ReadNumber(name)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

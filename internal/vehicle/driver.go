@@ -1,0 +1,157 @@
+package vehicle
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DriverAction is one scheduled driver or HMI input change.  Fields are
+// pointers so that an action only touches the inputs it names.
+type DriverAction struct {
+	// At is the simulation time of the action.
+	At time.Duration
+	// Throttle sets the throttle pedal level (0 releases the pedal).
+	Throttle *float64
+	// Brake sets the brake pedal level (0 releases the pedal).
+	Brake *float64
+	// Steering sets the driver steering-wheel input (0 releases it).
+	Steering *float64
+	// EnableCA, EnableRCA, EnableACC, EnableLCA, EnablePA switch features
+	// on or off at the HMI.
+	EnableCA  *bool
+	EnableRCA *bool
+	EnableACC *bool
+	EnableLCA *bool
+	EnablePA  *bool
+	// EngageACC, EngageLCA, EngagePA request feature engagement.
+	EngageACC *bool
+	EngageLCA *bool
+	EngagePA  *bool
+	// SetSpeed sets the ACC set speed in m/s.
+	SetSpeed *float64
+	// Go sends the HMI "go" confirmation used to resume from a stop.
+	Go *bool
+	// Gear selects the transmission gear ("D" or "R").
+	Gear *string
+}
+
+// Level returns a pointer to a pedal or steering level, for building
+// schedules concisely.
+func Level(v float64) *float64 { return &v }
+
+// Flag returns a pointer to a boolean, for building schedules concisely.
+func Flag(v bool) *bool { return &v }
+
+// GearSel returns a pointer to a gear selection string.
+func GearSel(g string) *string { return &g }
+
+// Driver models the driver and the Human-Machine Interface: it applies the
+// scheduled pedal, steering and HMI inputs and continuously publishes the
+// driver-input signals the features and the Arbiter observe.
+type Driver struct {
+	// Schedule is the list of timed actions.
+	Schedule []DriverAction
+	// InitialGear is the gear at simulation start ("D" by default).
+	InitialGear string
+
+	throttle float64
+	brake    float64
+	steering float64
+	gear     string
+
+	caEnabled, rcaEnabled, accEnabled, lcaEnabled, paEnabled bool
+	accEngage, lcaEngage, paEngage                           bool
+	setSpeed                                                 float64
+	hmiGo                                                    bool
+	started                                                  bool
+}
+
+// Name implements sim.Component.
+func (d *Driver) Name() string { return "Driver" }
+
+// Step implements sim.Component.
+func (d *Driver) Step(now time.Duration, bus *sim.Bus) {
+	if !d.started {
+		d.gear = d.InitialGear
+		if d.gear == "" {
+			d.gear = "D"
+		}
+		d.started = true
+	}
+	step := time.Duration(stepSeconds(bus) * float64(time.Second))
+	// The go confirmation and engage requests are pulses: they last one
+	// state unless re-asserted.
+	d.hmiGo = false
+	d.accEngage = false
+	d.lcaEngage = false
+	d.paEngage = false
+
+	for _, a := range d.Schedule {
+		if now < a.At || now >= a.At+step {
+			continue
+		}
+		if a.Throttle != nil {
+			d.throttle = *a.Throttle
+		}
+		if a.Brake != nil {
+			d.brake = *a.Brake
+		}
+		if a.Steering != nil {
+			d.steering = *a.Steering
+		}
+		if a.EnableCA != nil {
+			d.caEnabled = *a.EnableCA
+		}
+		if a.EnableRCA != nil {
+			d.rcaEnabled = *a.EnableRCA
+		}
+		if a.EnableACC != nil {
+			d.accEnabled = *a.EnableACC
+		}
+		if a.EnableLCA != nil {
+			d.lcaEnabled = *a.EnableLCA
+		}
+		if a.EnablePA != nil {
+			d.paEnabled = *a.EnablePA
+		}
+		if a.EngageACC != nil {
+			d.accEngage = *a.EngageACC
+		}
+		if a.EngageLCA != nil {
+			d.lcaEngage = *a.EngageLCA
+		}
+		if a.EngagePA != nil {
+			d.paEngage = *a.EngagePA
+		}
+		if a.SetSpeed != nil {
+			d.setSpeed = *a.SetSpeed
+		}
+		if a.Go != nil {
+			d.hmiGo = *a.Go
+		}
+		if a.Gear != nil {
+			d.gear = *a.Gear
+		}
+	}
+
+	bus.WriteBool(SigThrottlePedal, d.throttle > 0.02)
+	bus.WriteNumber(SigThrottleLevel, d.throttle)
+	bus.WriteBool(SigBrakePedal, d.brake > 0.02)
+	bus.WriteNumber(SigBrakeLevel, d.brake)
+	bus.WriteBool(SigSteeringActive, d.steering != 0)
+	bus.WriteNumber(SigSteeringInput, d.steering)
+	bus.WriteBool(SigPedalApplied, d.throttle > 0.02 || d.brake > 0.02)
+	bus.WriteString(SigGear, d.gear)
+
+	bus.WriteBool(SigCAEnabled, d.caEnabled)
+	bus.WriteBool(SigRCAEnabled, d.rcaEnabled)
+	bus.WriteBool(SigACCEnabled, d.accEnabled)
+	bus.WriteBool(SigLCAEnabled, d.lcaEnabled)
+	bus.WriteBool(SigPAEnabled, d.paEnabled)
+	bus.WriteBool(SigACCEngageRequest, d.accEngage)
+	bus.WriteBool(SigLCAEngageRequest, d.lcaEngage)
+	bus.WriteBool(SigPAEngageRequest, d.paEngage)
+	bus.WriteNumber(SigACCSetSpeed, d.setSpeed)
+	bus.WriteBool(SigHMIGo, d.hmiGo)
+}

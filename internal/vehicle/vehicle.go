@@ -1,0 +1,321 @@
+// Package vehicle implements the semi-autonomous automotive system evaluated
+// in Chapter 5 of the thesis (Figure 5.1): longitudinal/lateral vehicle
+// dynamics, the Driver and Human-Machine Interface, the five feature
+// subsystems (Collision Avoidance, Rear Collision Avoidance, Adaptive Cruise
+// Control, Lane Change Assist and Park Assist), and the Arbiter that selects
+// the acceleration and steering commands.
+//
+// The thesis evaluated an incomplete research implementation in
+// CarSim/Simulink; this package substitutes a fixed-step simulation and
+// deliberately seeds the design defects the thesis discovered (PA requests
+// while disabled, intermittent CA braking, ACC controlling while not
+// engaged, reversed steering-arbitration priority, RCA never engaging, and
+// the PA command mismatch), so that the run-time goal monitors reproduce the
+// structure of the Appendix D violation tables.
+package vehicle
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Feature names, used as arbitration source tags.
+const (
+	// SourceDriver tags commands originating from the driver's pedals.
+	SourceDriver = "Driver"
+	// SourceCA tags Collision Avoidance.
+	SourceCA = "CA"
+	// SourceRCA tags Rear Collision Avoidance.
+	SourceRCA = "RCA"
+	// SourceACC tags Adaptive Cruise Control.
+	SourceACC = "ACC"
+	// SourceLCA tags Lane Change Assist.
+	SourceLCA = "LCA"
+	// SourcePA tags Park Assist.
+	SourcePA = "PA"
+	// SourceNone tags the absence of any acceleration or steering source.
+	SourceNone = "None"
+)
+
+// FeatureNames lists the five feature subsystems in arbitration priority
+// order (highest priority first).
+var FeatureNames = []string{SourceCA, SourceRCA, SourceACC, SourceLCA, SourcePA}
+
+// Bus signal names.  Goal formulas reference these names directly.
+const (
+	// SigPeriodSeconds carries the simulation step period in seconds.
+	SigPeriodSeconds = "SimPeriodSeconds"
+
+	// Vehicle state (sensed).
+	SigVehicleSpeed     = "Vehicle.Speed"
+	SigVehicleAccel     = "Vehicle.Accel"
+	SigVehicleJerk      = "Vehicle.Jerk"
+	SigVehiclePosition  = "Vehicle.Position"
+	SigVehicleStopped   = "Vehicle.Stopped"
+	SigInForwardMotion  = "Vehicle.InForwardMotion"
+	SigInBackwardMotion = "Vehicle.InBackwardMotion"
+	SigGear             = "Vehicle.Gear"
+	SigLanePosition     = "Vehicle.LanePosition"
+	SigSteeringAngle    = "Vehicle.SteeringAngle"
+	SigCollision        = "Vehicle.Collision"
+
+	// Forward and rear object tracks (sensed).
+	SigObjectDistance     = "Object.Distance"
+	SigObjectSpeed        = "Object.Speed"
+	SigRearObjectDistance = "RearObject.Distance"
+
+	// Driver inputs.
+	SigThrottlePedal  = "Driver.ThrottlePedal"
+	SigThrottleLevel  = "Driver.ThrottleLevel"
+	SigBrakePedal     = "Driver.BrakePedal"
+	SigBrakeLevel     = "Driver.BrakeLevel"
+	SigSteeringActive = "Driver.SteeringActive"
+	SigSteeringInput  = "Driver.SteeringInput"
+	SigPedalApplied   = "Driver.PedalApplied"
+
+	// HMI state.
+	SigCAEnabled        = "HMI.CAEnabled"
+	SigRCAEnabled       = "HMI.RCAEnabled"
+	SigACCEnabled       = "HMI.ACCEnabled"
+	SigACCEngageRequest = "HMI.ACCEngageRequest"
+	SigACCSetSpeed      = "HMI.ACCSetSpeed"
+	SigLCAEnabled       = "HMI.LCAEnabled"
+	SigLCAEngageRequest = "HMI.LCAEngageRequest"
+	SigPAEnabled        = "HMI.PAEnabled"
+	SigPAEngageRequest  = "HMI.PAEngageRequest"
+	SigHMIGo            = "HMI.Go"
+
+	// Arbiter outputs.
+	SigAccelCommand           = "Arbiter.AccelCommand"
+	SigAccelSource            = "Arbiter.AccelSource"
+	SigAccelFromSubsystem     = "Arbiter.AccelFromSubsystem"
+	SigAccelCommandJerk       = "Arbiter.AccelCommandJerk"
+	SigSteerCommand           = "Arbiter.SteerCommand"
+	SigSteerSource            = "Arbiter.SteerSource"
+	SigSteerFromSubsystem     = "Arbiter.SteerFromSubsystem"
+	SigAccelSteeringAgreement = "Arbiter.AccelSteeringAgreement"
+	SigSelectedSoftRequestFwd = "Arbiter.SelectedSoftRequestFwd"
+	SigSelectedSoftRequestBwd = "Arbiter.SelectedSoftRequestBwd"
+	SigSelectedRequestValue   = "Arbiter.SelectedRequestValue"
+)
+
+// Per-feature signal names.
+const (
+	sigSuffixActive          = ".Active"
+	sigSuffixAccelRequest    = ".AccelRequest"
+	sigSuffixRequestingAccel = ".RequestingAccel"
+	sigSuffixSteerRequest    = ".SteerRequest"
+	sigSuffixRequestingSteer = ".RequestingSteer"
+	sigSuffixRequestJerk     = ".RequestJerk"
+	sigSuffixSelected        = ".Selected"
+)
+
+// SigActive returns the Active signal name for a feature.
+func SigActive(feature string) string { return feature + sigSuffixActive }
+
+// SigAccelRequest returns the acceleration-request signal name for a feature.
+func SigAccelRequest(feature string) string { return feature + sigSuffixAccelRequest }
+
+// SigRequestingAccel returns the requesting-acceleration flag name.
+func SigRequestingAccel(feature string) string { return feature + sigSuffixRequestingAccel }
+
+// SigSteerRequest returns the steering-request signal name for a feature.
+func SigSteerRequest(feature string) string { return feature + sigSuffixSteerRequest }
+
+// SigRequestingSteer returns the requesting-steering flag name.
+func SigRequestingSteer(feature string) string { return feature + sigSuffixRequestingSteer }
+
+// SigRequestJerk returns the request-jerk signal name for a feature.
+func SigRequestJerk(feature string) string { return feature + sigSuffixRequestJerk }
+
+// SigSelected returns the arbiter's selected flag name for a feature.
+func SigSelected(feature string) string { return feature + sigSuffixSelected }
+
+// Physical and policy parameters.
+const (
+	// AutoAccelLimit is the vehicle-level limit on autonomous acceleration
+	// (goal 1), in m/s².
+	AutoAccelLimit = 2.0
+	// AutoJerkLimit is the vehicle-level limit on autonomous jerk (goal 2),
+	// in m/s³.
+	AutoJerkLimit = 2.5
+	// HardBrakeThreshold is the deceleration below which a feature request
+	// counts as an emergency stop that the driver may not override
+	// (goals 5 and 6), in m/s².
+	HardBrakeThreshold = -2.0
+	// StoppedSpeedEpsilon is the speed magnitude below which the vehicle
+	// is considered stopped.
+	StoppedSpeedEpsilon = 0.01
+	// AccelResponseOmega is the natural frequency of the second-order
+	// powertrain/brake response, in rad/s.
+	AccelResponseOmega = 6.0
+	// AccelResponseZeta is the damping ratio of the powertrain/brake
+	// response.  The response is underdamped, so the achieved acceleration
+	// overshoots the command by roughly 16%; this is the vehicle-dynamics
+	// behaviour that lets the sensed acceleration and jerk violate the
+	// system goals even when every command and request is within bounds
+	// (the thesis' false negatives).
+	AccelResponseZeta = 0.5
+	// MaxDriverAccel is the acceleration at full throttle, in m/s².
+	MaxDriverAccel = 3.0
+	// MaxDriverBrake is the deceleration at full brake, in m/s².
+	MaxDriverBrake = -8.0
+	// CABrakeRequest is Collision Avoidance's hard-braking request, m/s².
+	CABrakeRequest = -8.0
+	// CreepAccel is the automatic-transmission creep acceleration applied
+	// when the vehicle is in gear with no pedal and no command, in m/s².
+	CreepAccel = 0.4
+	// StoppedTime is the duration the vehicle must be stopped before the
+	// no-acceleration-from-stop goal (goal 4) arms.
+	StoppedTime = 500 * time.Millisecond
+	// GoTime is the window after a throttle application or HMI go signal
+	// during which acceleration from a stop is permitted (goal 4).
+	GoTime = 500 * time.Millisecond
+)
+
+func stepSeconds(bus *sim.Bus) float64 {
+	if dt := bus.ReadNumber(SigPeriodSeconds); dt > 0 {
+		return dt
+	}
+	return 0.001
+}
+
+// Dynamics is the host-vehicle longitudinal and lateral dynamics model: the
+// substitute for the CarSim vehicle plant.  The achieved acceleration tracks
+// the arbiter's command with a first-order lag; speed and position are
+// integrated from it.  The speed is clamped at zero when braking to a stop
+// under driver, CA, RCA or PA control, but deliberately NOT when ACC or LCA
+// are in control, reproducing the negative-speed anomaly the thesis observed
+// in Scenario 6.
+type Dynamics struct {
+	speed     float64
+	accel     float64
+	accelRate float64
+	position  float64
+	lane      float64
+	steering  float64
+
+	// InitialSpeed sets the speed at the first step, in m/s.
+	InitialSpeed float64
+	started      bool
+}
+
+// Name implements sim.Component.
+func (d *Dynamics) Name() string { return "VehicleDynamics" }
+
+// Step implements sim.Component.
+func (d *Dynamics) Step(_ time.Duration, bus *sim.Bus) {
+	if !d.started {
+		d.speed = d.InitialSpeed
+		d.started = true
+	}
+	dt := stepSeconds(bus)
+	cmd := bus.ReadNumber(SigAccelCommand)
+	if math.IsNaN(cmd) {
+		cmd = 0
+	}
+	source := bus.ReadString(SigAccelSource)
+	gear := bus.ReadString(SigGear)
+	reverse := gear == "R"
+
+	// Automatic-transmission creep: with no command and no pedal, the
+	// vehicle slowly creeps in the direction of the gear.
+	if source == SourceNone || source == "" {
+		cmd = CreepAccel
+		if reverse {
+			cmd = -CreepAccel
+		}
+		if math.Abs(d.speed) > 1.5 {
+			cmd = 0
+		}
+	}
+
+	// Second-order (underdamped) powertrain/brake response: the achieved
+	// acceleration overshoots step changes in the command.
+	d.accelRate += (AccelResponseOmega*AccelResponseOmega*(cmd-d.accel) -
+		2*AccelResponseZeta*AccelResponseOmega*d.accelRate) * dt
+	d.accel += d.accelRate * dt
+	jerk := d.accelRate
+
+	d.speed += d.accel * dt
+
+	// Braking to a stop holds the vehicle at rest for the driver and for
+	// the collision-avoidance / park features.  ACC and LCA lack this
+	// hold, which is the seeded negative-speed defect.
+	clampingSource := source == SourceDriver || source == SourceCA || source == SourceRCA ||
+		source == SourcePA || source == SourceNone || source == ""
+	if clampingSource {
+		if !reverse && d.speed < 0 && d.accel < 0 {
+			d.speed = 0
+		}
+		if reverse && d.speed > 0 && d.accel > 0 {
+			d.speed = 0
+		}
+	}
+
+	d.position += d.speed * dt
+
+	// Lateral: the steering command is applied directly (a kinematic
+	// approximation); the lane position drifts with the steering angle.
+	d.steering = bus.ReadNumber(SigSteerCommand)
+	if math.IsNaN(d.steering) {
+		d.steering = 0
+	}
+	d.lane += d.steering * d.speed * 0.02 * dt
+
+	bus.WriteNumber(SigVehicleSpeed, d.speed)
+	bus.WriteNumber(SigVehicleAccel, d.accel)
+	bus.WriteNumber(SigVehicleJerk, jerk)
+	bus.WriteNumber(SigVehiclePosition, d.position)
+	bus.WriteNumber(SigLanePosition, d.lane)
+	bus.WriteNumber(SigSteeringAngle, d.steering)
+	bus.WriteBool(SigVehicleStopped, math.Abs(d.speed) < StoppedSpeedEpsilon)
+	bus.WriteBool(SigInForwardMotion, d.speed > StoppedSpeedEpsilon)
+	bus.WriteBool(SigInBackwardMotion, d.speed < -StoppedSpeedEpsilon)
+}
+
+// Object is a target vehicle (or obstacle) in the host vehicle's path.  It
+// publishes the forward range when ahead of the host and the rear range when
+// behind it, as the long-range radar and rear sensors would.
+type Object struct {
+	// InitialDistance is the starting range to the host vehicle in metres
+	// (positive ahead, negative behind).
+	InitialDistance float64
+	// Speed is the object's speed in m/s (0 for a stopped vehicle).
+	Speed float64
+
+	position float64
+	started  bool
+}
+
+// Name implements sim.Component.
+func (o *Object) Name() string { return "Object" }
+
+// Step implements sim.Component.
+func (o *Object) Step(_ time.Duration, bus *sim.Bus) {
+	dt := stepSeconds(bus)
+	host := bus.ReadNumber(SigVehiclePosition)
+	if math.IsNaN(host) {
+		host = 0
+	}
+	if !o.started {
+		o.position = host + o.InitialDistance
+		o.started = true
+	}
+	o.position += o.Speed * dt
+
+	gap := o.position - host
+	if o.InitialDistance >= 0 {
+		bus.WriteNumber(SigObjectDistance, gap)
+		bus.WriteNumber(SigObjectSpeed, o.Speed)
+		bus.WriteNumber(SigRearObjectDistance, 1e9)
+		bus.WriteBool(SigCollision, gap <= 0)
+	} else {
+		bus.WriteNumber(SigObjectDistance, 1e9)
+		bus.WriteNumber(SigObjectSpeed, o.Speed)
+		bus.WriteNumber(SigRearObjectDistance, -gap)
+		bus.WriteBool(SigCollision, gap >= 0)
+	}
+}
