@@ -234,7 +234,54 @@ func BenchmarkTableD9_Scenario8(b *testing.B)   { benchmarkScenario(b, 8) }
 func BenchmarkTableD10_Scenario9(b *testing.B)  { benchmarkScenario(b, 9) }
 func BenchmarkTableD11_Scenario10(b *testing.B) { benchmarkScenario(b, 10) }
 
-// BenchmarkAblation_CorrectedScenario2 is the ablation of DESIGN.md: the
+// ---------------------------------------------------------------------------
+// Batch scenario execution: the sequential baseline, the parallel Runner and
+// a parameter sweep.  The sequential/parallel pair tracks the wall-clock win
+// of the worker pool on multicore hardware (identical results either way).
+// ---------------------------------------------------------------------------
+
+func BenchmarkRunAllSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := scenarios.Runner{Workers: 1}.RunScenarios(scenarios.Scenarios(), scenarios.Options{})
+		if len(results) != 10 {
+			b.Fatal("expected ten results")
+		}
+	}
+}
+
+func BenchmarkRunAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := scenarios.RunAll() // default Runner: GOMAXPROCS workers
+		if len(results) != 10 {
+			b.Fatal("expected ten results")
+		}
+	}
+}
+
+// BenchmarkSweepShortDuration runs a 40-variant sweep of 2 s runs through the
+// parallel Runner, tracking generated-scenario throughput without the cost of
+// full 20 s simulations per iteration.
+func BenchmarkSweepShortDuration(b *testing.B) {
+	var families []scenarios.Family
+	for _, base := range scenarios.Scenarios() {
+		base.Duration = 2 * time.Second
+		families = append(families, scenarios.Family{
+			Base:            base,
+			InitialSpeeds:   []float64{base.InitialSpeed, base.InitialSpeed + 2},
+			ObjectDistances: []float64{base.ObjectDistance, base.ObjectDistance * 0.8},
+		})
+	}
+	sweep := scenarios.Sweep{Families: families}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := scenarios.Runner{}.RunSweep(sweep)
+		if len(res.Results) != 40 {
+			b.Fatal("expected 40 sweep results")
+		}
+	}
+}
+
+// BenchmarkAblation_CorrectedScenario2 is the corrected-defects ablation: the
 // same scenario run with every seeded defect removed, showing how much of
 // the violation structure is attributable to the thesis' documented defects.
 func BenchmarkAblation_CorrectedScenario2(b *testing.B) {

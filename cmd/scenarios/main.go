@@ -1,71 +1,188 @@
-// Command scenarios runs the ten semi-autonomous-vehicle evaluation
-// scenarios of thesis Section 5.4 with the full Table 5.3 monitoring suite
-// and prints the Appendix D violation tables, the hit / false-negative /
-// false-positive classification and the cross-scenario summary.
+// Command scenarios runs the semi-autonomous-vehicle evaluation scenarios of
+// thesis Section 5.4 with the full Table 5.3 monitoring suite and prints the
+// Appendix D violation tables, the hit / false-negative / false-positive
+// classification and the cross-scenario summary.
+//
+// Scenarios execute on a concurrent batch Runner; -workers sizes the pool.
+// Beyond the ten fixed thesis scenarios, -sweep evaluates the default
+// parameter sweep (120 generated variants over initial speed, object
+// distance and defect configuration), and -json emits a machine-readable
+// per-run and aggregate summary instead of the rendered tables.
 //
 // Usage:
 //
-//	scenarios [-n number] [-detail] [-table53] [-goals]
+//	scenarios [-n number] [-detail] [-table53] [-goals] [-corrected]
+//	          [-workers n] [-sweep] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/monitor"
 	"repro/internal/scenarios"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// runReport is the machine-readable record of one monitored run.
+type runReport struct {
+	Name            string  `json:"name"`
+	Scenario        int     `json:"scenario"`
+	InitialSpeed    float64 `json:"initial_speed"`
+	ObjectDistance  float64 `json:"object_distance"`
+	ObjectSpeed     float64 `json:"object_speed"`
+	Gear            string  `json:"gear"`
+	Corrected       bool    `json:"corrected"`
+	Steps           int     `json:"steps"`
+	Collision       bool    `json:"collision"`
+	TerminatedEarly bool    `json:"terminated_early"`
+	Hits            int     `json:"hits"`
+	FalseNegatives  int     `json:"false_negatives"`
+	FalsePositives  int     `json:"false_positives"`
+}
+
+// batchReport is the machine-readable record of a whole batch or sweep.
+type batchReport struct {
+	Runs              int             `json:"runs"`
+	Collisions        int             `json:"collisions"`
+	EarlyTerminations int             `json:"early_terminations"`
+	Aggregate         monitor.Summary `json:"aggregate"`
+	FalseNegativeRate float64         `json:"false_negative_rate"`
+	FalsePositiveRate float64         `json:"false_positive_rate"`
+	Results           []runReport     `json:"results"`
+}
+
+func report(batch scenarios.SweepResult) batchReport {
+	out := batchReport{
+		Runs:              len(batch.Results),
+		Collisions:        batch.Collisions,
+		EarlyTerminations: batch.EarlyTerminations,
+		Aggregate:         batch.Aggregate,
+		FalseNegativeRate: batch.Aggregate.FalseNegativeRate(),
+		FalsePositiveRate: batch.Aggregate.FalsePositiveRate(),
+		Results:           make([]runReport, len(batch.Results)),
+	}
+	for i, r := range batch.Results {
+		out.Results[i] = runReport{
+			Name:            r.Scenario.Name,
+			Scenario:        r.Scenario.Number,
+			InitialSpeed:    r.Scenario.InitialSpeed,
+			ObjectDistance:  r.Scenario.ObjectDistance,
+			ObjectSpeed:     r.Scenario.ObjectSpeed,
+			Gear:            r.Scenario.Gear,
+			Corrected:       batch.Jobs[i].Options.CorrectDefects,
+			Steps:           r.Trace.Len(),
+			Collision:       r.Collision,
+			TerminatedEarly: r.TerminatedEarly(),
+			Hits:            r.Summary.Hits,
+			FalseNegatives:  r.Summary.FalseNegatives,
+			FalsePositives:  r.Summary.FalsePositives,
+		}
+	}
+	return out
+}
+
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
-	number := fs.Int("n", 0, "run only the given thesis scenario number (1-10)")
-	detail := fs.Bool("detail", false, "print per-detection classification details")
+	number := fs.Int("n", 0, "run only the given thesis scenario number (1-10); with -sweep, sweep only that scenario's family")
+	detail := fs.Bool("detail", false, "print per-detection classification details (rendered-table mode only; no effect with -sweep or -json)")
 	table53 := fs.Bool("table53", false, "print the Table 5.3 monitoring-location matrix")
 	showGoals := fs.Bool("goals", false, "print the nine system safety goals (Tables 5.1/5.2)")
 	corrected := fs.Bool("corrected", false, "ablation: run with every seeded defect removed")
+	workers := fs.Int("workers", 0, "worker-pool size for scenario execution (default GOMAXPROCS)")
+	sweep := fs.Bool("sweep", false, "evaluate the default parameter sweep instead of the ten fixed scenarios")
+	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary instead of the rendered tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := scenarios.Options{CorrectDefects: *corrected}
+	runner := scenarios.Runner{Workers: *workers}
+
+	if *asJSON && (*table53 || *showGoals) {
+		return fmt.Errorf("-json cannot be combined with -table53 or -goals: the rendered tables would corrupt the JSON stream")
+	}
 
 	if *showGoals {
 		for _, g := range scenarios.VehicleGoals().All() {
-			fmt.Println(g.String())
-			fmt.Println()
+			fmt.Fprintln(w, g.String())
+			fmt.Fprintln(w)
 		}
 	}
 	if *table53 {
-		fmt.Println(scenarios.RenderTable5_3())
+		fmt.Fprintln(w, scenarios.RenderTable5_3())
 	}
 
-	var results []scenarios.Result
-	if *number != 0 {
+	var jobs []scenarios.Job
+	switch {
+	case *sweep:
+		sw := scenarios.DefaultSweep()
+		if *corrected {
+			// -corrected narrows the sweep to the ablation configuration
+			// instead of DefaultSweep's seeded+corrected pairing.
+			for i := range sw.Families {
+				sw.Families[i].OptionSets = []scenarios.Options{{CorrectDefects: true}}
+			}
+		}
+		if *number != 0 {
+			var kept []scenarios.Family
+			for _, f := range sw.Families {
+				if f.Base.Number == *number {
+					kept = append(kept, f)
+				}
+			}
+			if len(kept) == 0 {
+				return fmt.Errorf("no scenario numbered %d", *number)
+			}
+			sw.Families = kept
+		}
+		jobs = sw.Jobs()
+	case *number != 0:
 		sc, ok := scenarios.ScenarioByNumber(*number)
 		if !ok {
 			return fmt.Errorf("no scenario numbered %d", *number)
 		}
-		results = append(results, scenarios.RunWithOptions(sc, opts))
-	} else {
+		jobs = []scenarios.Job{{Scenario: sc, Options: opts}}
+	default:
 		for _, sc := range scenarios.Scenarios() {
-			results = append(results, scenarios.RunWithOptions(sc, opts))
+			jobs = append(jobs, scenarios.Job{Scenario: sc, Options: opts})
 		}
 	}
 
+	results := runner.Run(jobs)
+	batch := scenarios.Collect(jobs, results)
+
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report(batch))
+	}
+
+	if *sweep {
+		rep := report(batch)
+		fmt.Fprintf(w, "Sweep: %d runs, %d collisions, %d early terminations\n",
+			rep.Runs, rep.Collisions, rep.EarlyTerminations)
+		fmt.Fprintf(w, "Aggregate: %s\n", rep.Aggregate)
+		fmt.Fprintf(w, "Interpretation: %s\n", rep.Aggregate.CompositionEvidence())
+		return nil
+	}
+
 	for _, r := range results {
-		fmt.Println(scenarios.RenderViolationTable(r))
+		fmt.Fprintln(w, scenarios.RenderViolationTable(r))
 		if *detail {
-			fmt.Println(scenarios.RenderClassificationDetail(r))
+			fmt.Fprintln(w, scenarios.RenderClassificationDetail(r))
 		}
 	}
 	if len(results) > 1 {
-		fmt.Println(scenarios.RenderSummary(results))
+		fmt.Fprintln(w, scenarios.RenderSummary(results))
 	}
 	return nil
 }

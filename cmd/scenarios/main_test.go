@@ -1,33 +1,132 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
 
 func TestRunSingleScenario(t *testing.T) {
-	if err := run([]string{"-n", "7"}); err != nil {
+	if err := run([]string{"-n", "7"}, io.Discard); err != nil {
 		t.Fatalf("run(-n 7): %v", err)
 	}
 }
 
 func TestRunUnknownScenario(t *testing.T) {
-	if err := run([]string{"-n", "99"}); err == nil {
+	if err := run([]string{"-n", "99"}, io.Discard); err == nil {
 		t.Fatal("unknown scenario number should be an error")
+	}
+	if err := run([]string{"-sweep", "-n", "99"}, io.Discard); err == nil {
+		t.Fatal("unknown sweep scenario number should be an error")
 	}
 }
 
 func TestRunTablesAndGoals(t *testing.T) {
-	if err := run([]string{"-n", "7", "-table53", "-goals", "-detail"}); err != nil {
+	if err := run([]string{"-n", "7", "-table53", "-goals", "-detail"}, io.Discard); err != nil {
 		t.Fatalf("run with table/goal flags: %v", err)
 	}
 }
 
 func TestRunCorrectedFlag(t *testing.T) {
-	if err := run([]string{"-n", "7", "-corrected"}); err != nil {
+	if err := run([]string{"-n", "7", "-corrected"}, io.Discard); err != nil {
 		t.Fatalf("run(-corrected): %v", err)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
 		t.Fatal("bad flags should be an error")
+	}
+}
+
+func TestRunJSONRejectsRenderedTables(t *testing.T) {
+	if err := run([]string{"-n", "7", "-json", "-table53"}, io.Discard); err == nil {
+		t.Fatal("-json with -table53 would corrupt the JSON stream and must be rejected")
+	}
+	if err := run([]string{"-n", "7", "-json", "-goals"}, io.Discard); err == nil {
+		t.Fatal("-json with -goals would corrupt the JSON stream and must be rejected")
+	}
+}
+
+// TestRunSweepCorrected checks that -corrected narrows the sweep to the
+// ablation configuration: only corrected variants run, and none collide.
+func TestRunSweepCorrected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs 6 full scenario simulations")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", "-n", "7", "-corrected", "-json"}, &buf); err != nil {
+		t.Fatalf("run(-sweep -n 7 -corrected -json): %v", err)
+	}
+	var rep batchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Runs != 6 {
+		t.Fatalf("corrected sweep of one family should run 6 variants, got %d", rep.Runs)
+	}
+	for _, r := range rep.Results {
+		if !r.Corrected {
+			t.Errorf("variant %s ran with seeded defects; -corrected must narrow the sweep", r.Name)
+		}
+		if r.Collision {
+			t.Errorf("corrected variant %s should avoid the collision", r.Name)
+		}
+	}
+}
+
+func TestRunJSONSingleScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "7", "-workers", "2", "-json"}, &buf); err != nil {
+		t.Fatalf("run(-n 7 -json): %v", err)
+	}
+	var rep batchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Runs != 1 || len(rep.Results) != 1 {
+		t.Fatalf("expected one run, got %d (%d results)", rep.Runs, len(rep.Results))
+	}
+	if rep.Results[0].Scenario != 7 || !rep.Results[0].Collision {
+		t.Errorf("scenario 7 should collide: %+v", rep.Results[0])
+	}
+	if rep.Collisions != 1 || rep.EarlyTerminations != 1 {
+		t.Errorf("aggregate counts wrong: %+v", rep)
+	}
+}
+
+// TestRunSweepSingleFamily sweeps the scenario-7 family (12 variants: three
+// initial speeds, two object distances, defects seeded and corrected) through
+// the parallel runner and checks the machine-readable aggregate.
+func TestRunSweepSingleFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs 12 full scenario simulations")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", "-n", "7", "-json"}, &buf); err != nil {
+		t.Fatalf("run(-sweep -n 7 -json): %v", err)
+	}
+	var rep batchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Runs != 12 || len(rep.Results) != 12 {
+		t.Fatalf("expected 12 variants, got %d (%d results)", rep.Runs, len(rep.Results))
+	}
+	seededCollisions := 0
+	for _, r := range rep.Results {
+		if r.Scenario != 7 {
+			t.Errorf("variant %s belongs to scenario %d, want 7", r.Name, r.Scenario)
+		}
+		if !r.Corrected && r.Collision {
+			seededCollisions++
+		}
+		if r.Corrected && r.Collision {
+			t.Errorf("corrected variant %s should avoid the collision", r.Name)
+		}
+	}
+	if seededCollisions == 0 {
+		t.Error("the seeded RCA defect should produce collisions somewhere in the family")
 	}
 }

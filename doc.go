@@ -11,8 +11,7 @@
 // Chapter 4 distributed elevator and the Chapter 5 semi-autonomous vehicle
 // with its ten evaluation scenarios.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for the paper-versus-measured
-// comparison.  The benchmarks in bench_test.go regenerate every table and
-// figure of the thesis' evaluation.
+// See README.md for the package layout, the batch Runner / parameter-sweep
+// API and the build-and-test workflow.  The benchmarks in bench_test.go
+// regenerate every table and figure of the thesis' evaluation.
 package repro

@@ -352,6 +352,41 @@ func (s Summary) Add(o Summary) Summary {
 	return s
 }
 
+// Sum aggregates summaries across runs, e.g. over every variant of a
+// scenario sweep.
+func Sum(summaries ...Summary) Summary {
+	var total Summary
+	for _, s := range summaries {
+		total = total.Add(s)
+	}
+	return total
+}
+
+// Total returns the number of classified detections.
+func (s Summary) Total() int { return s.Hits + s.FalseNegatives + s.FalsePositives }
+
+// FalseNegativeRate returns the fraction of goal violations with no
+// corresponding subgoal violation — the empirical estimate of hidden
+// emergence X (thesis §3.4).  It is 0 when no goal violations occurred.
+func (s Summary) FalseNegativeRate() float64 {
+	goalViolations := s.Hits + s.FalseNegatives
+	if goalViolations == 0 {
+		return 0
+	}
+	return float64(s.FalseNegatives) / float64(goalViolations)
+}
+
+// FalsePositiveRate returns the fraction of classified detections that are
+// unmatched subgoal violations — the empirical estimate of restrictive or
+// redundantly covered subgoals Y (thesis §3.4).  It is 0 when there are no
+// detections.
+func (s Summary) FalsePositiveRate() float64 {
+	if s.Total() == 0 {
+		return 0
+	}
+	return float64(s.FalsePositives) / float64(s.Total())
+}
+
 // String renders the summary.
 func (s Summary) String() string {
 	return fmt.Sprintf("hits=%d false-negatives=%d false-positives=%d",

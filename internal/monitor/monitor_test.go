@@ -405,3 +405,25 @@ func TestPropMonitorMatchesBatchViolations(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSumAndRates(t *testing.T) {
+	a := Summary{Hits: 2, FalseNegatives: 1}
+	b := Summary{Hits: 1, FalsePositives: 3}
+	total := Sum(a, b)
+	if total != (Summary{Hits: 3, FalseNegatives: 1, FalsePositives: 3}) {
+		t.Errorf("Sum = %+v", total)
+	}
+	if total.Total() != 7 {
+		t.Errorf("Total = %d, want 7", total.Total())
+	}
+	if got := total.FalseNegativeRate(); got != 0.25 {
+		t.Errorf("FalseNegativeRate = %g, want 0.25 (1 of 4 goal violations)", got)
+	}
+	if got := total.FalsePositiveRate(); got != 3.0/7.0 {
+		t.Errorf("FalsePositiveRate = %g, want 3/7", got)
+	}
+	var empty Summary
+	if Sum() != empty || empty.FalseNegativeRate() != 0 || empty.FalsePositiveRate() != 0 {
+		t.Error("empty summaries must aggregate to zero without dividing by zero")
+	}
+}

@@ -1,0 +1,101 @@
+package scenarios
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Job is one unit of work for a Runner: a scenario together with the options
+// it should run under.  Distinct jobs may pair the same scenario with
+// different options (e.g. the corrected-defects ablation).
+type Job struct {
+	// Scenario is the configuration to run.
+	Scenario Scenario
+	// Options are the run options (defect correction etc.).
+	Options Options
+}
+
+// Runner executes batches of scenario jobs on a fixed-size worker pool.
+//
+// Every job is fully isolated: RunWithOptions builds a fresh sim.Engine, Bus,
+// component set and monitor Suite per run, and no package in the run path
+// keeps mutable package-level state, so jobs can execute concurrently without
+// synchronisation.  Results are always returned in input order, so a parallel
+// batch is indistinguishable from a sequential one except for wall-clock
+// time.
+type Runner struct {
+	// Workers is the worker-pool size.  Non-positive values default to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// workerCount resolves the effective pool size for a batch of n jobs.
+func (r Runner) workerCount(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every job and returns the results in input order.
+func (r Runner) Run(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	workers := r.workerCount(len(jobs))
+	if workers == 1 {
+		for i, j := range jobs {
+			out[i] = RunWithOptions(j.Scenario, j.Options)
+		}
+		return out
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				out[i] = RunWithOptions(jobs[i].Scenario, jobs[i].Options)
+			}
+		}()
+	}
+	for i := range jobs {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	return out
+}
+
+// RunScenarios executes a slice of scenarios under one shared set of options
+// and returns the results in input order.
+func (r Runner) RunScenarios(scs []Scenario, opts Options) []Result {
+	jobs := make([]Job, len(scs))
+	for i, sc := range scs {
+		jobs[i] = Job{Scenario: sc, Options: opts}
+	}
+	return r.Run(jobs)
+}
+
+// RunAll executes every thesis scenario on a default Runner and returns the
+// results in scenario order.
+func RunAll() []Result { return RunAllWithOptions(Options{}) }
+
+// RunAllWithOptions executes every thesis scenario with explicit options on a
+// default Runner and returns the results in scenario order.
+func RunAllWithOptions(opts Options) []Result {
+	return Runner{}.RunScenarios(Scenarios(), opts)
+}
+
+// RunAllSequential executes every thesis scenario on a single worker; it is
+// the reference path the parallel Runner is checked against.
+func RunAllSequential() []Result {
+	return Runner{Workers: 1}.RunScenarios(Scenarios(), Options{})
+}

@@ -1,0 +1,180 @@
+package scenarios
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// TestRunnerMatchesSequential runs the parallel Runner over all ten thesis
+// scenarios and asserts the results are element-wise identical to the
+// sequential path: same rendered summaries, detections, collision flags and
+// trace lengths.  Together with -race this is the evidence that per-run
+// isolation holds (each run owns its engine, bus and monitor suite).
+func TestRunnerMatchesSequential(t *testing.T) {
+	parallel := Runner{Workers: 4}.RunScenarios(Scenarios(), Options{})
+	if len(parallel) != 10 {
+		t.Fatalf("parallel runner returned %d results, want 10", len(parallel))
+	}
+	for i := range parallel {
+		seq := cachedRun(t, i+1) // sequential reference, shared with the other tests
+		par := parallel[i]
+		if par.Scenario.Number != i+1 {
+			t.Fatalf("result %d is scenario %d: parallel results must keep input order", i, par.Scenario.Number)
+		}
+		if par.Summary != seq.Summary {
+			t.Errorf("scenario %d: parallel summary %v != sequential %v", i+1, par.Summary, seq.Summary)
+		}
+		if par.Collision != seq.Collision {
+			t.Errorf("scenario %d: parallel collision %v != sequential %v", i+1, par.Collision, seq.Collision)
+		}
+		if par.Trace.Len() != seq.Trace.Len() {
+			t.Errorf("scenario %d: parallel trace length %d != sequential %d", i+1, par.Trace.Len(), seq.Trace.Len())
+		}
+		if len(par.Detections) != len(seq.Detections) {
+			t.Errorf("scenario %d: detection map sizes differ", i+1)
+		}
+		for goal, seqDs := range seq.Detections {
+			parDs := par.Detections[goal]
+			if fmt.Sprintf("%+v", parDs) != fmt.Sprintf("%+v", seqDs) {
+				t.Errorf("scenario %d: detections for %s differ:\nparallel:   %+v\nsequential: %+v", i+1, goal, parDs, seqDs)
+			}
+		}
+		if got, want := RenderViolationTable(par), RenderViolationTable(seq); got != want {
+			t.Errorf("scenario %d: rendered violation tables differ", i+1)
+		}
+	}
+	if got, want := RenderSummary(parallel), RenderSummary(sequentialResults(t)); got != want {
+		t.Errorf("cross-scenario summaries differ:\n%s\n---\n%s", got, want)
+	}
+}
+
+func sequentialResults(t *testing.T) []Result {
+	t.Helper()
+	out := make([]Result, 10)
+	for i := range out {
+		out[i] = cachedRun(t, i+1)
+	}
+	return out
+}
+
+func TestRunnerWorkerCount(t *testing.T) {
+	if got := (Runner{Workers: 8}).workerCount(3); got != 3 {
+		t.Errorf("pool should shrink to the job count, got %d", got)
+	}
+	if got := (Runner{Workers: -1}).workerCount(0); got != 1 {
+		t.Errorf("empty batches still need one worker, got %d", got)
+	}
+	if got := (Runner{}).workerCount(100); got < 1 {
+		t.Errorf("default pool size must be positive, got %d", got)
+	}
+	if out := (Runner{Workers: 4}).Run(nil); len(out) != 0 {
+		t.Errorf("running no jobs should return no results, got %d", len(out))
+	}
+}
+
+// TestResultTerminatedEarlyDefaultDuration is the regression test for the
+// duration-normalization bug: a scenario with an unset Duration runs with the
+// 20 s default, and an early-collision run must report TerminatedEarly even
+// though the scenario literal said 0.
+func TestResultTerminatedEarlyDefaultDuration(t *testing.T) {
+	sc, ok := ScenarioByNumber(7)
+	if !ok {
+		t.Fatal("no scenario 7")
+	}
+	sc.Duration = 0
+	r := Run(sc)
+	if !r.Collision {
+		t.Fatal("scenario 7 should collide")
+	}
+	if r.Scenario.Duration != 20*time.Second {
+		t.Errorf("Result.Scenario.Duration = %v, want the normalized 20s default", r.Scenario.Duration)
+	}
+	if !r.TerminatedEarly() {
+		t.Error("an early-collision run with a defaulted duration must report TerminatedEarly")
+	}
+}
+
+func TestFamilyVariants(t *testing.T) {
+	base, _ := ScenarioByNumber(1)
+	f := Family{
+		Base:            base,
+		InitialSpeeds:   []float64{4, 8},
+		ObjectDistances: []float64{110, 80},
+		OptionSets:      []Options{{}, {CorrectDefects: true}},
+	}
+	if f.Size() != 8 {
+		t.Fatalf("family size = %d, want 8", f.Size())
+	}
+	jobs := f.Variants()
+	if len(jobs) != 8 {
+		t.Fatalf("variants = %d, want 8", len(jobs))
+	}
+	names := make(map[string]bool)
+	for _, j := range jobs {
+		if names[j.Scenario.Name] {
+			t.Errorf("duplicate variant name %q", j.Scenario.Name)
+		}
+		names[j.Scenario.Name] = true
+		if j.Scenario.Number != base.Number || j.Scenario.Duration != base.Duration {
+			t.Errorf("variant %q lost base metadata", j.Scenario.Name)
+		}
+		if j.Scenario.ObjectSpeed != base.ObjectSpeed || j.Scenario.Gear != base.Gear {
+			t.Errorf("variant %q changed an axis that was not swept", j.Scenario.Name)
+		}
+	}
+	// The zero family yields exactly the base scenario.
+	solo := Family{Base: base}.Variants()
+	if len(solo) != 1 || solo[0].Scenario.InitialSpeed != base.InitialSpeed {
+		t.Errorf("zero family should yield the base scenario, got %+v", solo)
+	}
+}
+
+func TestDefaultSweepShape(t *testing.T) {
+	sw := DefaultSweep()
+	if len(sw.Families) != 10 {
+		t.Fatalf("default sweep has %d families, want 10", len(sw.Families))
+	}
+	if sw.Size() < 100 {
+		t.Errorf("default sweep generates %d variants, want >= 100", sw.Size())
+	}
+	jobs := sw.Jobs()
+	if len(jobs) != sw.Size() {
+		t.Errorf("Jobs() yields %d, Size() says %d", len(jobs), sw.Size())
+	}
+}
+
+// TestRunSweep executes a small short-duration sweep through the parallel
+// runner and checks the aggregate bookkeeping.
+func TestRunSweep(t *testing.T) {
+	base, _ := ScenarioByNumber(7)
+	base.Duration = 2 * time.Second
+	sw := Sweep{Families: []Family{{
+		Base:            base,
+		InitialSpeeds:   []float64{0, 1},
+		ObjectDistances: []float64{-12, -9},
+	}}}
+	res := Runner{Workers: 4}.RunSweep(sw)
+	if len(res.Jobs) != 4 || len(res.Results) != 4 {
+		t.Fatalf("sweep ran %d jobs / %d results, want 4", len(res.Jobs), len(res.Results))
+	}
+	var want monitor.Summary
+	collisions := 0
+	for i, r := range res.Results {
+		if r.Scenario.Name != res.Jobs[i].Scenario.Name {
+			t.Errorf("result %d is %q, job is %q: order must be preserved", i, r.Scenario.Name, res.Jobs[i].Scenario.Name)
+		}
+		want = want.Add(r.Summary)
+		if r.Collision {
+			collisions++
+		}
+	}
+	if res.Aggregate != want {
+		t.Errorf("aggregate = %v, want %v", res.Aggregate, want)
+	}
+	if res.Collisions != collisions {
+		t.Errorf("collisions = %d, want %d", res.Collisions, collisions)
+	}
+}

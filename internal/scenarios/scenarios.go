@@ -283,11 +283,13 @@ func RunWithOptions(sc Scenario, opts Options) Result {
 	s.OnStep(func(_ time.Duration, st temporal.State) { suite.Observe(st) })
 	s.StopWhen(func(_ time.Duration, st temporal.State) bool { return st.Bool(vehicle.SigCollision) })
 
-	duration := sc.Duration
-	if duration <= 0 {
-		duration = 20 * time.Second
+	// Normalize the default duration into the scenario recorded on the
+	// Result, so Result.TerminatedEarly compares the trace against the
+	// duration that was actually scheduled.
+	if sc.Duration <= 0 {
+		sc.Duration = 20 * time.Second
 	}
-	trace := s.Run(duration)
+	trace := s.Run(sc.Duration)
 	suite.Finish()
 
 	collision := trace.Len() > 0 && trace.Last().Bool(vehicle.SigCollision)
@@ -299,14 +301,4 @@ func RunWithOptions(sc Scenario, opts Options) Result {
 		Summary:    suite.Summary(),
 		Collision:  collision,
 	}
-}
-
-// RunAll executes every scenario and returns the results in scenario order.
-func RunAll() []Result {
-	scs := Scenarios()
-	out := make([]Result, 0, len(scs))
-	for _, sc := range scs {
-		out = append(out, Run(sc))
-	}
-	return out
 }

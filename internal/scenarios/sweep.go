@@ -1,0 +1,190 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+)
+
+// Family derives parameterized variants of a base scenario.  Each non-empty
+// axis replaces the corresponding base field; the variants are the cartesian
+// product of all axes.  An empty axis keeps the base value, so the zero
+// Family yields exactly the base scenario under default options.
+//
+// Families widen the thesis' ten fixed scenarios into a scenario space: the
+// same defect set and driver schedule evaluated across a grid of initial
+// conditions, which is the kind of evidence an emergent-safety claim needs —
+// behaviour across many interconnected configurations, not one.
+type Family struct {
+	// Base is the scenario the variants are derived from.
+	Base Scenario
+	// InitialSpeeds enumerates host start speeds in m/s.
+	InitialSpeeds []float64
+	// ObjectDistances enumerates target-vehicle placements in m (negative
+	// for objects behind the host).
+	ObjectDistances []float64
+	// ObjectSpeeds enumerates target-vehicle speeds in m/s.
+	ObjectSpeeds []float64
+	// Gears enumerates transmission gears ("D" or "R").
+	Gears []string
+	// OptionSets enumerates run options (e.g. seeded defects in place
+	// versus the corrected ablation).
+	OptionSets []Options
+}
+
+// Size returns the number of variants the family generates.
+func (f Family) Size() int {
+	n := 1
+	for _, axis := range []int{
+		len(f.InitialSpeeds), len(f.ObjectDistances), len(f.ObjectSpeeds),
+		len(f.Gears), len(f.OptionSets),
+	} {
+		if axis > 0 {
+			n *= axis
+		}
+	}
+	return n
+}
+
+// Variants expands the family into concrete jobs.  Variant names extend the
+// base name with the parameter assignment so every job in a sweep is
+// identifiable in reports and JSON output.
+func (f Family) Variants() []Job {
+	speeds := f.InitialSpeeds
+	if len(speeds) == 0 {
+		speeds = []float64{f.Base.InitialSpeed}
+	}
+	distances := f.ObjectDistances
+	if len(distances) == 0 {
+		distances = []float64{f.Base.ObjectDistance}
+	}
+	objSpeeds := f.ObjectSpeeds
+	if len(objSpeeds) == 0 {
+		objSpeeds = []float64{f.Base.ObjectSpeed}
+	}
+	gears := f.Gears
+	if len(gears) == 0 {
+		gears = []string{f.Base.Gear}
+	}
+	optionSets := f.OptionSets
+	if len(optionSets) == 0 {
+		optionSets = []Options{{}}
+	}
+
+	jobs := make([]Job, 0, f.Size())
+	for _, speed := range speeds {
+		for _, dist := range distances {
+			for _, objSpeed := range objSpeeds {
+				for _, gear := range gears {
+					for _, opts := range optionSets {
+						sc := f.Base
+						sc.InitialSpeed = speed
+						sc.ObjectDistance = dist
+						sc.ObjectSpeed = objSpeed
+						sc.Gear = gear
+						sc.Name = fmt.Sprintf("%s/speed=%g,dist=%g,objspeed=%g,gear=%s,corrected=%t",
+							f.Base.Name, speed, dist, objSpeed, gear, opts.CorrectDefects)
+						jobs = append(jobs, Job{Scenario: sc, Options: opts})
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// Sweep is a batch of families evaluated together.
+type Sweep struct {
+	// Families are the scenario families to expand.
+	Families []Family
+}
+
+// Size returns the total number of variants across all families.
+func (s Sweep) Size() int {
+	n := 0
+	for _, f := range s.Families {
+		n += f.Size()
+	}
+	return n
+}
+
+// Jobs expands every family, in family order.
+func (s Sweep) Jobs() []Job {
+	jobs := make([]Job, 0, s.Size())
+	for _, f := range s.Families {
+		jobs = append(jobs, f.Variants()...)
+	}
+	return jobs
+}
+
+// SweepResult is the outcome of one sweep: the per-variant results in job
+// order and the cross-variant aggregates.
+type SweepResult struct {
+	// Jobs are the executed variants, in order.
+	Jobs []Job
+	// Results are the per-variant outcomes, index-aligned with Jobs.
+	Results []Result
+	// Aggregate is the hit / false-negative / false-positive classification
+	// summed over every variant — the sweep-level empirical estimate of the
+	// residual emergence X and Y of thesis §3.4.
+	Aggregate monitor.Summary
+	// Collisions counts variants that terminated early on a collision.
+	Collisions int
+	// EarlyTerminations counts variants that stopped before their
+	// scheduled duration.
+	EarlyTerminations int
+}
+
+// Collect assembles a SweepResult from executed jobs: the cross-variant
+// aggregate summary and the collision / early-termination counts.  It is the
+// single place batch bookkeeping lives, shared by RunSweep and any front-end
+// that runs jobs itself.
+func Collect(jobs []Job, results []Result) SweepResult {
+	out := SweepResult{Jobs: jobs, Results: results}
+	summaries := make([]monitor.Summary, len(results))
+	for i, res := range results {
+		summaries[i] = res.Summary
+		if res.Collision {
+			out.Collisions++
+		}
+		if res.TerminatedEarly() {
+			out.EarlyTerminations++
+		}
+	}
+	out.Aggregate = monitor.Sum(summaries...)
+	return out
+}
+
+// RunSweep expands and executes a sweep on the runner's worker pool.
+func (r Runner) RunSweep(s Sweep) SweepResult {
+	jobs := s.Jobs()
+	return Collect(jobs, r.Run(jobs))
+}
+
+// DefaultSweep derives the standard evaluation sweep from the ten thesis
+// scenarios: for each base scenario a grid of three initial speeds, two
+// object distances and both defect configurations — 120 monitored runs that
+// bracket the thesis' ten.
+//
+// Speed offsets are additive so reverse-gear scenarios (which start at rest)
+// stay meaningful; distances are scaled so objects stay on the same side of
+// the host.
+func DefaultSweep() Sweep {
+	var families []Family
+	for _, base := range Scenarios() {
+		families = append(families, Family{
+			Base: base,
+			InitialSpeeds: []float64{
+				base.InitialSpeed,
+				base.InitialSpeed + 1,
+				base.InitialSpeed + 2,
+			},
+			ObjectDistances: []float64{
+				base.ObjectDistance,
+				base.ObjectDistance * 0.8,
+			},
+			OptionSets: []Options{{}, {CorrectDefects: true}},
+		})
+	}
+	return Sweep{Families: families}
+}

@@ -151,7 +151,7 @@ func (s *Simulation) StopWhen(fn func(now time.Duration, state temporal.State) b
 // predicate fires) and returns the recorded trace of committed states.
 func (s *Simulation) Run(d time.Duration) *temporal.Trace {
 	steps := int(d / s.Period)
-	trace := temporal.NewTrace(s.Period)
+	trace := temporal.NewTraceWithCapacity(s.Period, steps)
 	for i := 0; i < steps; i++ {
 		now := time.Duration(i) * s.Period
 		for _, c := range s.components {
