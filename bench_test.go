@@ -8,6 +8,7 @@ package repro
 // cmd/elevator and cmd/figures.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -262,6 +263,19 @@ func BenchmarkRunAllParallel(b *testing.B) {
 // parallel Runner, tracking generated-scenario throughput without the cost of
 // full 20 s simulations per iteration.
 func BenchmarkSweepShortDuration(b *testing.B) {
+	sweep := shortSweep()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := scenarios.Runner{}.RunSweep(sweep)
+		if len(res.Results) != 40 {
+			b.Fatal("expected 40 sweep results")
+		}
+	}
+}
+
+// shortSweep is the 40-variant short-duration sweep shared by the retention
+// benchmarks.
+func shortSweep() scenarios.Sweep {
 	var families []scenarios.Family
 	for _, base := range scenarios.Scenarios() {
 		base.Duration = 2 * time.Second
@@ -271,13 +285,43 @@ func BenchmarkSweepShortDuration(b *testing.B) {
 			ObjectDistances: []float64{base.ObjectDistance, base.ObjectDistance * 0.8},
 		})
 	}
-	sweep := scenarios.Sweep{Families: families}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := scenarios.Runner{}.RunSweep(sweep)
-		if len(res.Results) != 40 {
-			b.Fatal("expected 40 sweep results")
+	return scenarios.Sweep{Families: families}
+}
+
+// BenchmarkSweepRetention contrasts the batch path (Runner.RunSweep:
+// materialized jobs, every trace retained) with the streaming Engine under
+// both retention policies over the same 40-variant sweep.  Run with -benchmem:
+// SummaryOnly skips the per-step state snapshot entirely — the simulation
+// records no trace — so B/op drops by roughly the full trace cost
+// (thousands of map clones per run) versus RunSweep and KeepTrace, which is
+// the allocation evidence that large sweeps can stream with O(workers)
+// memory.
+func BenchmarkSweepRetention(b *testing.B) {
+	sweep := shortSweep()
+	b.Run("RunSweepBatch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := scenarios.Runner{}.RunSweep(sweep)
+			if len(res.Results) != 40 {
+				b.Fatal("expected 40 sweep results")
+			}
 		}
+	})
+	for _, retention := range []scenarios.Retention{scenarios.KeepTrace, scenarios.SummaryOnly} {
+		retention := retention
+		b.Run("Stream/"+retention.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine := scenarios.NewEngine(scenarios.WithRetention(retention))
+				acc, err := engine.Accumulate(context.Background(), sweep.Source())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if acc.Runs() != 40 {
+					b.Fatal("expected 40 streamed runs")
+				}
+			}
+		})
 	}
 }
 

@@ -3,19 +3,30 @@
 // Appendix D violation tables, the hit / false-negative / false-positive
 // classification and the cross-scenario summary.
 //
-// Scenarios execute on a concurrent batch Runner; -workers sizes the pool.
-// Beyond the ten fixed thesis scenarios, -sweep evaluates the default
-// parameter sweep (120 generated variants over initial speed, object
-// distance and defect configuration), and -json emits a machine-readable
-// per-run and aggregate summary instead of the rendered tables.
+// Scenarios execute on the streaming scenarios.Engine; -workers sizes the
+// pool and -timeout bounds the whole evaluation (cancellation drains cleanly
+// and reports the partial aggregate).  Beyond the ten fixed thesis scenarios,
+// -sweep evaluates a parameter sweep whose grid -sweep-size selects: default
+// (120 variants over initial speed, object distance and defect
+// configuration), wide (360, adds object speeds) or huge (1296, adds a
+// fourth speed, a third distance and the gear axis).  Sweeps stream lazily
+// with summary-only trace retention, so memory stays O(workers) however
+// large the grid.
+//
+// -json emits one machine-readable summary document; -stream emits NDJSON —
+// one line per completed run, in input order, followed by a final aggregate
+// line — so downstream tooling can consume results while the sweep is still
+// running.
 //
 // Usage:
 //
 //	scenarios [-n number] [-detail] [-table53] [-goals] [-corrected]
-//	          [-workers n] [-sweep] [-json]
+//	          [-workers n] [-timeout d] [-sweep] [-sweep-size s]
+//	          [-json] [-stream]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,7 +61,28 @@ type runReport struct {
 	FalsePositives  int     `json:"false_positives"`
 }
 
-// batchReport is the machine-readable record of a whole batch or sweep.
+func newRunReport(sr scenarios.StreamResult) runReport {
+	r := sr.Result
+	return runReport{
+		Name:            r.Scenario.Name,
+		Scenario:        r.Scenario.Number,
+		InitialSpeed:    r.Scenario.InitialSpeed,
+		ObjectDistance:  r.Scenario.ObjectDistance,
+		ObjectSpeed:     r.Scenario.ObjectSpeed,
+		Gear:            r.Scenario.Gear,
+		Corrected:       sr.Job.Options.CorrectDefects,
+		Steps:           r.Steps,
+		Collision:       r.Collision,
+		TerminatedEarly: r.TerminatedEarly(),
+		Hits:            r.Summary.Hits,
+		FalseNegatives:  r.Summary.FalseNegatives,
+		FalsePositives:  r.Summary.FalsePositives,
+	}
+}
+
+// batchReport is the machine-readable record of a whole batch or sweep.  In
+// -stream mode it is emitted as the final NDJSON line, without the per-run
+// Results (each run already had its own line).
 type batchReport struct {
 	Runs              int             `json:"runs"`
 	Collisions        int             `json:"collisions"`
@@ -58,57 +90,41 @@ type batchReport struct {
 	Aggregate         monitor.Summary `json:"aggregate"`
 	FalseNegativeRate float64         `json:"false_negative_rate"`
 	FalsePositiveRate float64         `json:"false_positive_rate"`
-	Results           []runReport     `json:"results"`
+	Results           []runReport     `json:"results,omitempty"`
 }
 
-func report(batch scenarios.SweepResult) batchReport {
-	out := batchReport{
-		Runs:              len(batch.Results),
-		Collisions:        batch.Collisions,
-		EarlyTerminations: batch.EarlyTerminations,
-		Aggregate:         batch.Aggregate,
-		FalseNegativeRate: batch.Aggregate.FalseNegativeRate(),
-		FalsePositiveRate: batch.Aggregate.FalsePositiveRate(),
-		Results:           make([]runReport, len(batch.Results)),
+func aggregateReport(acc *scenarios.Accumulator) batchReport {
+	sum := acc.Summary()
+	return batchReport{
+		Runs:              acc.Runs(),
+		Collisions:        acc.Collisions(),
+		EarlyTerminations: acc.EarlyTerminations(),
+		Aggregate:         sum,
+		FalseNegativeRate: sum.FalseNegativeRate(),
+		FalsePositiveRate: sum.FalsePositiveRate(),
 	}
-	for i, r := range batch.Results {
-		out.Results[i] = runReport{
-			Name:            r.Scenario.Name,
-			Scenario:        r.Scenario.Number,
-			InitialSpeed:    r.Scenario.InitialSpeed,
-			ObjectDistance:  r.Scenario.ObjectDistance,
-			ObjectSpeed:     r.Scenario.ObjectSpeed,
-			Gear:            r.Scenario.Gear,
-			Corrected:       batch.Jobs[i].Options.CorrectDefects,
-			Steps:           r.Trace.Len(),
-			Collision:       r.Collision,
-			TerminatedEarly: r.TerminatedEarly(),
-			Hits:            r.Summary.Hits,
-			FalseNegatives:  r.Summary.FalseNegatives,
-			FalsePositives:  r.Summary.FalsePositives,
-		}
-	}
-	return out
 }
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
 	number := fs.Int("n", 0, "run only the given thesis scenario number (1-10); with -sweep, sweep only that scenario's family")
-	detail := fs.Bool("detail", false, "print per-detection classification details (rendered-table mode only; no effect with -sweep or -json)")
+	detail := fs.Bool("detail", false, "print per-detection classification details (rendered-table mode only; no effect with -sweep, -json or -stream)")
 	table53 := fs.Bool("table53", false, "print the Table 5.3 monitoring-location matrix")
 	showGoals := fs.Bool("goals", false, "print the nine system safety goals (Tables 5.1/5.2)")
 	corrected := fs.Bool("corrected", false, "ablation: run with every seeded defect removed")
 	workers := fs.Int("workers", 0, "worker-pool size for scenario execution (default GOMAXPROCS)")
-	sweep := fs.Bool("sweep", false, "evaluate the default parameter sweep instead of the ten fixed scenarios")
+	timeout := fs.Duration("timeout", 0, "bound the whole evaluation; on expiry in-flight runs drain and the partial aggregate is reported (0 = no bound)")
+	sweep := fs.Bool("sweep", false, "evaluate a parameter sweep instead of the ten fixed scenarios")
+	sweepSize := fs.String("sweep-size", "default", "sweep grid preset: default (120 variants), wide (360, adds object speeds) or huge (1296, adds speeds, distances and gears where meaningful)")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary instead of the rendered tables")
+	stream := fs.Bool("stream", false, "emit NDJSON: one line per completed run, then a final aggregate line")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := scenarios.Options{CorrectDefects: *corrected}
-	runner := scenarios.Runner{Workers: *workers}
 
-	if *asJSON && (*table53 || *showGoals) {
-		return fmt.Errorf("-json cannot be combined with -table53 or -goals: the rendered tables would corrupt the JSON stream")
+	if (*asJSON || *stream) && (*table53 || *showGoals) {
+		return fmt.Errorf("-json/-stream cannot be combined with -table53 or -goals: the rendered tables would corrupt the output stream")
 	}
 
 	if *showGoals {
@@ -121,13 +137,18 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w, scenarios.RenderTable5_3())
 	}
 
-	var jobs []scenarios.Job
+	// Resolve the job source.  Sweeps stay lazy end to end: the grid is
+	// generated variant by variant and never materialized.
+	var src scenarios.JobSource
 	switch {
 	case *sweep:
-		sw := scenarios.DefaultSweep()
+		sw, err := scenarios.SweepBySize(*sweepSize)
+		if err != nil {
+			return err
+		}
 		if *corrected {
 			// -corrected narrows the sweep to the ablation configuration
-			// instead of DefaultSweep's seeded+corrected pairing.
+			// instead of the preset's seeded+corrected pairing.
 			for i := range sw.Families {
 				sw.Families[i].OptionSets = []scenarios.Options{{CorrectDefects: true}}
 			}
@@ -144,45 +165,101 @@ func run(args []string, w io.Writer) error {
 			}
 			sw.Families = kept
 		}
-		jobs = sw.Jobs()
+		src = sw.Source()
 	case *number != 0:
 		sc, ok := scenarios.ScenarioByNumber(*number)
 		if !ok {
 			return fmt.Errorf("no scenario numbered %d", *number)
 		}
-		jobs = []scenarios.Job{{Scenario: sc, Options: opts}}
+		src = scenarios.SliceSource([]scenarios.Job{{Scenario: sc, Options: opts}})
 	default:
+		var jobs []scenarios.Job
 		for _, sc := range scenarios.Scenarios() {
 			jobs = append(jobs, scenarios.Job{Scenario: sc, Options: opts})
 		}
+		src = scenarios.SliceSource(jobs)
 	}
 
-	results := runner.Run(jobs)
-	batch := scenarios.Collect(jobs, results)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
-	if *asJSON {
+	// The rendered Appendix D tables need the full trace and monitor suite;
+	// every machine-readable path needs only the per-run summary, so sweeps
+	// and JSON/NDJSON output run trace-free.
+	retention := scenarios.SummaryOnly
+	rendered := !*asJSON && !*stream && !*sweep
+	if rendered {
+		retention = scenarios.KeepTrace
+	}
+	engine := scenarios.NewEngine(
+		scenarios.WithWorkers(*workers),
+		scenarios.WithRetention(retention),
+	)
+
+	var acc scenarios.Accumulator
+
+	switch {
+	case *stream:
+		enc := json.NewEncoder(w)
+		err := engine.Stream(ctx, src, scenarios.Tee(&acc, scenarios.SinkFunc(
+			func(sr scenarios.StreamResult) error {
+				return enc.Encode(newRunReport(sr))
+			})))
+		// The final aggregate line covers exactly the runs that completed,
+		// so a timed-out stream still ends with a valid partial aggregate.
+		if encErr := enc.Encode(aggregateReport(&acc)); encErr != nil && err == nil {
+			err = encErr
+		}
+		return err
+
+	case *asJSON:
+		var runs []runReport
+		err := engine.Stream(ctx, src, scenarios.Tee(&acc, scenarios.SinkFunc(
+			func(sr scenarios.StreamResult) error {
+				runs = append(runs, newRunReport(sr))
+				return nil
+			})))
+		// A timed-out evaluation still reports the completed prefix: the
+		// document covers exactly the runs that finished, and the error is
+		// surfaced through the exit status.
+		rep := aggregateReport(&acc)
+		rep.Results = runs
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		return enc.Encode(report(batch))
-	}
+		if encErr := enc.Encode(rep); encErr != nil && err == nil {
+			err = encErr
+		}
+		return err
 
-	if *sweep {
-		rep := report(batch)
+	case *sweep:
+		err := engine.Stream(ctx, src, &acc)
+		rep := aggregateReport(&acc)
 		fmt.Fprintf(w, "Sweep: %d runs, %d collisions, %d early terminations\n",
 			rep.Runs, rep.Collisions, rep.EarlyTerminations)
 		fmt.Fprintf(w, "Aggregate: %s\n", rep.Aggregate)
 		fmt.Fprintf(w, "Interpretation: %s\n", rep.Aggregate.CompositionEvidence())
-		return nil
-	}
+		return err
 
-	for _, r := range results {
-		fmt.Fprintln(w, scenarios.RenderViolationTable(r))
-		if *detail {
-			fmt.Fprintln(w, scenarios.RenderClassificationDetail(r))
+	default:
+		var results []scenarios.Result
+		err := engine.Stream(ctx, src, scenarios.SinkFunc(
+			func(sr scenarios.StreamResult) error {
+				results = append(results, sr.Result)
+				return nil
+			}))
+		for _, r := range results {
+			fmt.Fprintln(w, scenarios.RenderViolationTable(r))
+			if *detail {
+				fmt.Fprintln(w, scenarios.RenderClassificationDetail(r))
+			}
 		}
+		if len(results) > 1 {
+			fmt.Fprintln(w, scenarios.RenderSummary(results))
+		}
+		return err
 	}
-	if len(results) > 1 {
-		fmt.Fprintln(w, scenarios.RenderSummary(results))
-	}
-	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -128,5 +129,132 @@ func TestRunSweepSingleFamily(t *testing.T) {
 	}
 	if seededCollisions == 0 {
 		t.Error("the seeded RCA defect should produce collisions somewhere in the family")
+	}
+}
+
+// TestRunStreamNDJSON checks -stream output: one NDJSON line per run in
+// input order, then a final aggregate line matching the batch -json path.
+func TestRunStreamNDJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams 6 full scenario simulations")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", "-n", "7", "-corrected", "-stream"}, &buf); err != nil {
+		t.Fatalf("run(-sweep -n 7 -corrected -stream): %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("expected 6 run lines + 1 aggregate line, got %d", len(lines))
+	}
+	var agg batchReport
+	for i, line := range lines[:6] {
+		var r runReport
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("run line %d is not valid JSON: %v", i, err)
+		}
+		if r.Scenario != 7 || !r.Corrected {
+			t.Errorf("run line %d: %+v, want corrected scenario-7 variants", i, r)
+		}
+		agg.Aggregate.Hits += r.Hits
+		agg.Aggregate.FalseNegatives += r.FalseNegatives
+		agg.Aggregate.FalsePositives += r.FalsePositives
+	}
+	var final batchReport
+	if err := json.Unmarshal([]byte(lines[6]), &final); err != nil {
+		t.Fatalf("aggregate line is not valid JSON: %v", err)
+	}
+	if final.Runs != 6 || len(final.Results) != 0 {
+		t.Errorf("aggregate line = %+v, want 6 runs and no embedded results", final)
+	}
+	if final.Aggregate != agg.Aggregate {
+		t.Errorf("final aggregate %+v != sum of streamed lines %+v", final.Aggregate, agg.Aggregate)
+	}
+
+	// The batch -json path over the same jobs must agree with the stream's
+	// final aggregate — the acceptance check for the streaming redesign.
+	var jsonBuf bytes.Buffer
+	if err := run([]string{"-sweep", "-n", "7", "-corrected", "-json"}, &jsonBuf); err != nil {
+		t.Fatalf("run(-json): %v", err)
+	}
+	var batch batchReport
+	if err := json.Unmarshal(jsonBuf.Bytes(), &batch); err != nil {
+		t.Fatalf("batch output is not valid JSON: %v", err)
+	}
+	if batch.Aggregate != final.Aggregate || batch.Runs != final.Runs ||
+		batch.Collisions != final.Collisions || batch.EarlyTerminations != final.EarlyTerminations {
+		t.Errorf("batch aggregate %+v != streamed aggregate %+v", batch, final)
+	}
+}
+
+// TestRunTimeoutPartialAggregate checks that -timeout cancels the sweep
+// cleanly: run reports the context error and the NDJSON stream still ends
+// with a valid aggregate line covering the completed prefix.
+func TestRunTimeoutPartialAggregate(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-sweep", "-n", "7", "-stream", "-workers", "1", "-timeout", "1ms"}, &buf)
+	if err == nil {
+		t.Fatal("a 1ms timeout should cancel the sweep")
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	last := lines[len(lines)-1]
+	var final batchReport
+	if err := json.Unmarshal([]byte(last), &final); err != nil {
+		t.Fatalf("final line is not a valid aggregate: %v", err)
+	}
+	if final.Runs != len(lines)-1 {
+		t.Errorf("aggregate covers %d runs, stream emitted %d run lines", final.Runs, len(lines)-1)
+	}
+	if final.Runs >= 12 {
+		t.Errorf("a 1ms timeout should not complete all 12 variants, got %d", final.Runs)
+	}
+}
+
+// TestRunSweepSizeFlag checks the -sweep-size presets are wired through and
+// invalid presets are rejected.
+func TestRunSweepSizeFlag(t *testing.T) {
+	if err := run([]string{"-sweep", "-sweep-size", "enormous"}, io.Discard); err == nil {
+		t.Fatal("unknown -sweep-size should be an error")
+	}
+	if testing.Short() {
+		t.Skip("wide sweep of one family runs 18 simulations")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", "-sweep-size", "wide", "-n", "7", "-corrected", "-json"}, &buf); err != nil {
+		t.Fatalf("run(-sweep-size wide): %v", err)
+	}
+	var rep batchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Runs != 18 {
+		t.Errorf("wide corrected scenario-7 family should run 3*2*3=18 variants, got %d", rep.Runs)
+	}
+}
+
+// TestRunStreamRejectsRenderedTables mirrors the -json guard for -stream.
+func TestRunStreamRejectsRenderedTables(t *testing.T) {
+	if err := run([]string{"-n", "7", "-stream", "-table53"}, io.Discard); err == nil {
+		t.Fatal("-stream with -table53 would corrupt the NDJSON stream and must be rejected")
+	}
+}
+
+// TestRunTimeoutJSONPartialAggregate checks the -json path also reports the
+// completed prefix on timeout: a valid document is emitted alongside the
+// context error, matching -stream's partial-aggregate behaviour.
+func TestRunTimeoutJSONPartialAggregate(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-sweep", "-n", "7", "-json", "-workers", "1", "-timeout", "1ms"}, &buf)
+	if err == nil {
+		t.Fatal("a 1ms timeout should cancel the sweep")
+	}
+	var rep batchReport
+	if jsonErr := json.Unmarshal(buf.Bytes(), &rep); jsonErr != nil {
+		t.Fatalf("timed-out -json run must still emit a valid document: %v", jsonErr)
+	}
+	if rep.Runs != len(rep.Results) {
+		t.Errorf("aggregate covers %d runs but %d results are embedded", rep.Runs, len(rep.Results))
+	}
+	if rep.Runs >= 12 {
+		t.Errorf("a 1ms timeout should not complete all 12 variants, got %d", rep.Runs)
 	}
 }

@@ -11,7 +11,18 @@
 // Chapter 4 distributed elevator and the Chapter 5 semi-autonomous vehicle
 // with its ten evaluation scenarios.
 //
-// See README.md for the package layout, the batch Runner / parameter-sweep
-// API and the build-and-test workflow.  The benchmarks in bench_test.go
-// regenerate every table and figure of the thesis' evaluation.
+// Scenario evaluation is built around the streaming scenarios.Engine: jobs
+// are pulled lazily from a JobSource (Family and Sweep expose generator
+// forms, so a parameter grid of any size never materializes a job slice),
+// each Result is pushed to a ResultSink as it completes — in source order by
+// default — and a trace-retention policy (KeepTrace or SummaryOnly) decides
+// whether sweep memory is O(variants) or O(workers).  Runs are bounded and
+// cancelled through a context.Context; cancellation drains in-flight work
+// and leaves a valid partial aggregate in the Accumulator sink.  The batch
+// entry points (scenarios.Runner, RunAll, RunSweep) remain as thin
+// compatibility wrappers over the Engine.
+//
+// See README.md for the package layout, the Engine / parameter-sweep API and
+// the build-and-test workflow.  The benchmarks in bench_test.go regenerate
+// every table and figure of the thesis' evaluation.
 package repro

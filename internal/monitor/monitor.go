@@ -344,6 +344,19 @@ func Summarize(ds []Detection) Summary {
 	return s
 }
 
+// SummarizeMap counts detections by kind across a whole classification map,
+// as produced by Suite.Classify.  Note the map is keyed by parent goal name,
+// so if two hierarchies monitor the same goal only the last one's detections
+// are present; callers that hold a Suite should prefer ClassifyAll, which
+// sums over the hierarchies themselves.
+func SummarizeMap(m map[string][]Detection) Summary {
+	var s Summary
+	for _, ds := range m {
+		s = s.Add(Summarize(ds))
+	}
+	return s
+}
+
 // Add accumulates another summary into this one and returns the result.
 func (s Summary) Add(o Summary) Summary {
 	s.Hits += o.Hits
@@ -473,19 +486,31 @@ func (s *Suite) Monitors() []*Monitor {
 // Classify classifies every hierarchy and returns the detections keyed by
 // parent goal name.
 func (s *Suite) Classify() map[string][]Detection {
+	m, _ := s.ClassifyAll()
+	return m
+}
+
+// ClassifyAll classifies every hierarchy exactly once and returns both the
+// detections keyed by parent goal name and the aggregate summary.  The
+// summary is folded per hierarchy, not from the map, so hierarchies sharing
+// a parent goal name (e.g. one goal monitored at several locations) are all
+// counted even though the map retains only the last one per name.  It is the
+// single-pass form of calling Classify and Summary separately, each of which
+// reclassifies every hierarchy.
+func (s *Suite) ClassifyAll() (map[string][]Detection, Summary) {
 	out := make(map[string][]Detection, len(s.hierarchies))
+	var sum Summary
 	for _, h := range s.hierarchies {
-		out[h.Parent.Goal.Name] = h.Classify()
+		ds := h.Classify()
+		out[h.Parent.Goal.Name] = ds
+		sum = sum.Add(Summarize(ds))
 	}
-	return out
+	return out, sum
 }
 
 // Summary aggregates the classification of all hierarchies.
 func (s *Suite) Summary() Summary {
-	var sum Summary
-	for _, h := range s.hierarchies {
-		sum = sum.Add(Summarize(h.Classify()))
-	}
+	_, sum := s.ClassifyAll()
 	return sum
 }
 

@@ -427,3 +427,37 @@ func TestSumAndRates(t *testing.T) {
 		t.Error("empty summaries must aggregate to zero without dividing by zero")
 	}
 }
+
+// TestClassifyAllSharedGoalName checks that a suite with two hierarchies
+// monitoring the same parent goal (at different locations) counts both in
+// the aggregate summary, even though the classification map — keyed by goal
+// name — retains only one detection list per name.
+func TestClassifyAllSharedGoalName(t *testing.T) {
+	mk := func(location string) *Hierarchy {
+		parent := MustNew(accelGoal(), location, time.Millisecond)
+		return NewHierarchy(parent, 0)
+	}
+	suite := NewSuite()
+	suite.Add(mk("Vehicle"))
+	suite.Add(mk("Arbiter"))
+	// One violating state: both hierarchies record a parent violation with
+	// no children, i.e. one false negative each.
+	suite.Observe(state(true, 5.0))
+	suite.Finish()
+
+	m, sum := suite.ClassifyAll()
+	if len(m) != 1 {
+		t.Fatalf("classification map has %d entries, want 1 (shared goal name)", len(m))
+	}
+	if sum.FalseNegatives != 2 {
+		t.Errorf("aggregate counted %d false negatives, want 2 (one per hierarchy)", sum.FalseNegatives)
+	}
+	if got := suite.Summary(); got != sum {
+		t.Errorf("Summary() = %v, ClassifyAll sum = %v", got, sum)
+	}
+	// SummarizeMap over the name-keyed map necessarily sees only one
+	// hierarchy — the documented caveat this test pins down.
+	if got := SummarizeMap(m); got.FalseNegatives != 1 {
+		t.Errorf("SummarizeMap = %v, want the single retained entry", got)
+	}
+}

@@ -1,0 +1,423 @@
+package scenarios
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/monitor"
+)
+
+// ---------------------------------------------------------------------------
+// Streaming evaluation: job sources, result sinks, retention policies
+// ---------------------------------------------------------------------------
+//
+// The thesis' emergent-safety claim is a population claim: residual emergence
+// X/Y only shows up across many interconnected configurations.  The Engine is
+// the evaluation path built for that population: jobs are pulled lazily from
+// a JobSource (a 10k-variant grid never materializes a []Job), each Result is
+// pushed to a ResultSink as it completes, and a trace-retention policy keeps
+// sweep memory O(workers) instead of O(variants).
+
+// Retention selects how much of each run's state a Result retains.
+type Retention int
+
+const (
+	// KeepTrace retains the full state trace, monitor suite and detections
+	// on every Result — today's Runner behaviour, required by the figure
+	// extractors and the rendered Appendix D tables.
+	KeepTrace Retention = iota
+	// SummaryOnly retains only the scenario, step count, collision flag and
+	// classification summary.  The simulation records no trace at all (the
+	// monitors observe the live bus state), so a sweep's retained memory is
+	// O(workers) instead of O(variants × steps).
+	SummaryOnly
+)
+
+// String names the retention policy.
+func (r Retention) String() string {
+	if r == SummaryOnly {
+		return "summary-only"
+	}
+	return "keep-trace"
+}
+
+// JobSource is a lazy, pull-based iterator of jobs.  Sources are consumed by
+// a single goroutine; implementations need not be safe for concurrent use.
+type JobSource interface {
+	// Next returns the next job.  ok is false when the source is exhausted.
+	Next() (job Job, ok bool)
+}
+
+// SourceFunc adapts a function to a JobSource.
+type SourceFunc func() (Job, bool)
+
+// Next implements JobSource.
+func (f SourceFunc) Next() (Job, bool) { return f() }
+
+// SliceSource returns a JobSource that yields the given jobs in order.
+func SliceSource(jobs []Job) JobSource {
+	i := 0
+	return SourceFunc(func() (Job, bool) {
+		if i >= len(jobs) {
+			return Job{}, false
+		}
+		j := jobs[i]
+		i++
+		return j, true
+	})
+}
+
+// ConcatSources chains sources, exhausting each before starting the next.
+func ConcatSources(srcs ...JobSource) JobSource {
+	i := 0
+	return SourceFunc(func() (Job, bool) {
+		for i < len(srcs) {
+			if j, ok := srcs[i].Next(); ok {
+				return j, true
+			}
+			i++
+		}
+		return Job{}, false
+	})
+}
+
+// StreamResult pairs a completed run with the job that produced it and the
+// job's input-order index.
+type StreamResult struct {
+	// Index is the zero-based position of the job in source order.
+	Index int
+	// Job is the executed job.
+	Job Job
+	// Result is the run outcome, after the Engine's retention policy has
+	// been applied.
+	Result Result
+}
+
+// ResultSink receives completed runs.  The Engine invokes Consume from a
+// single goroutine, so implementations need no internal locking; a non-nil
+// error cancels the stream and is returned from Engine.Stream.
+type ResultSink interface {
+	Consume(StreamResult) error
+}
+
+// SinkFunc adapts a function to a ResultSink.
+type SinkFunc func(StreamResult) error
+
+// Consume implements ResultSink.
+func (f SinkFunc) Consume(sr StreamResult) error { return f(sr) }
+
+// Tee returns a sink that forwards every result to each sink in order,
+// stopping at the first error.
+func Tee(sinks ...ResultSink) ResultSink {
+	return SinkFunc(func(sr StreamResult) error {
+		for _, s := range sinks {
+			if err := s.Consume(sr); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Engine executes scenario jobs from a JobSource on a fixed-size worker pool
+// and streams each Result to a ResultSink as it completes.  Construct it with
+// NewEngine and functional options; the zero-value-equivalent NewEngine() is
+// ready to use.
+//
+// Every job is fully isolated (each run owns its sim engine, bus and monitor
+// suite), so jobs execute concurrently without synchronisation; the sink is
+// invoked from a single collector goroutine.
+type Engine struct {
+	workers   int
+	retention Retention
+	ordered   bool
+	progress  func(completed int)
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithWorkers sets the worker-pool size.  Non-positive values default to
+// runtime.GOMAXPROCS(0).
+func WithWorkers(n int) EngineOption { return func(e *Engine) { e.workers = n } }
+
+// WithRetention sets the trace-retention policy applied to every Result.
+func WithRetention(r Retention) EngineOption { return func(e *Engine) { e.retention = r } }
+
+// WithProgress registers a callback invoked from the collector goroutine
+// after each result is delivered, with the number of results delivered so
+// far.
+func WithProgress(fn func(completed int)) EngineOption {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// WithUnordered delivers results to the sink as they complete instead of in
+// source order.  Unordered delivery never buffers completed runs, so a sink
+// sees each result at the earliest possible moment; ordered delivery (the
+// default) preserves the Runner's deterministic input-order guarantee at the
+// cost of buffering at most O(workers) out-of-order results.
+func WithUnordered() EngineOption { return func(e *Engine) { e.ordered = false } }
+
+// NewEngine returns an Engine with the given options applied.  The defaults
+// are GOMAXPROCS workers, KeepTrace retention and ordered delivery.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{ordered: true}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// workerCount resolves the effective pool size.
+func (e *Engine) workerCount() int {
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// task is one dispatched job.
+type task struct {
+	idx int
+	job Job
+}
+
+// Stream pulls jobs from src until it is exhausted or ctx is cancelled,
+// executes them on the worker pool, and delivers each Result to sink.  It
+// returns nil once every job has been delivered; a cancellation that fires
+// only after the source is fully consumed does not turn a complete stream
+// into an error.
+//
+// Cancellation drains cleanly: in-flight jobs finish and their results are
+// still delivered, no goroutine is leaked, and Stream returns ctx.Err() — so
+// a sink such as an Accumulator holds a valid partial aggregate of every run
+// that completed.  A sink error likewise stops dispatch, drains in-flight
+// work without further deliveries, and is returned.
+func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) error {
+	// stop cancels dispatch on sink errors without requiring callers to
+	// pass a cancellable context.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+	defer cancel()
+
+	workers := e.workerCount()
+	tasks := make(chan task)
+	results := make(chan StreamResult, workers)
+
+	// In ordered mode the dispatcher additionally acquires a window token
+	// per job, released when the job's result is delivered, so dispatch can
+	// run at most window jobs ahead of in-order delivery.  Without it one
+	// slow run would let faster workers race ahead and the out-of-order
+	// buffer would grow O(completed), not O(workers).
+	var window chan struct{}
+	if e.ordered {
+		window = make(chan struct{}, 2*workers)
+	}
+
+	// exhausted records that the dispatcher consumed the whole source.  The
+	// write is ordered before close(tasks), which is ordered before
+	// close(results), which is ordered before the collector's read below.
+	exhausted := false
+
+	// Dispatcher: the only goroutine that touches src.
+	go func() {
+		defer close(tasks)
+		for idx := 0; ; idx++ {
+			if e.ordered {
+				select {
+				case window <- struct{}{}:
+				case <-ctx.Done():
+					return
+				case <-stop:
+					return
+				}
+			} else {
+				select {
+				case <-ctx.Done():
+					return
+				case <-stop:
+					return
+				default:
+				}
+			}
+			job, ok := src.Next()
+			if !ok {
+				exhausted = true
+				return
+			}
+			select {
+			case tasks <- task{idx: idx, job: job}:
+			case <-ctx.Done():
+				return
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				res := runJob(t.job.Scenario, t.job.Options, e.retention)
+				results <- StreamResult{Index: t.idx, Job: t.job, Result: res}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: the only goroutine that touches the sink.  In ordered mode
+	// out-of-order completions are buffered until the next source index
+	// arrives; dispatched indices are contiguous and every dispatched job
+	// completes, so the buffer always drains (and holds at most O(workers)
+	// entries).
+	var (
+		sinkErr   error
+		delivered int
+		pending   map[int]StreamResult
+		next      int
+	)
+	if e.ordered {
+		pending = make(map[int]StreamResult, workers)
+	}
+	deliver := func(sr StreamResult) {
+		if sinkErr != nil {
+			return
+		}
+		if err := sink.Consume(sr); err != nil {
+			sinkErr = err
+			cancel()
+			return
+		}
+		delivered++
+		if e.progress != nil {
+			e.progress(delivered)
+		}
+	}
+	for sr := range results {
+		if !e.ordered {
+			deliver(sr)
+			continue
+		}
+		pending[sr.Index] = sr
+		for {
+			buffered, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			deliver(buffered)
+			// Release the delivered job's window token so the dispatcher
+			// can pull the next one.  Every received result holds exactly
+			// one token, so this never blocks.
+			<-window
+		}
+	}
+
+	if sinkErr != nil {
+		return sinkErr
+	}
+	if exhausted {
+		// Every job was dispatched, completed and delivered: the stream is
+		// complete even if ctx was cancelled while the tail drained.
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Accumulate streams src into a fresh Accumulator and returns it.  On
+// cancellation the returned error is non-nil and the Accumulator holds the
+// partial aggregate of every completed run.
+func (e *Engine) Accumulate(ctx context.Context, src JobSource) (*Accumulator, error) {
+	var acc Accumulator
+	err := e.Stream(ctx, src, &acc)
+	return &acc, err
+}
+
+// ---------------------------------------------------------------------------
+// Online aggregation
+// ---------------------------------------------------------------------------
+
+// Accumulator folds results into the cross-variant aggregate online, one run
+// at a time, so a sweep's bookkeeping never retains per-run state.  It
+// implements ResultSink; the zero value is ready to use.  All methods are
+// safe for concurrent use, so a partial aggregate can be read (e.g. by a
+// progress reporter) while a stream is still running.
+type Accumulator struct {
+	mu         sync.Mutex
+	runs       int
+	collisions int
+	early      int
+	sum        monitor.Summary
+}
+
+// Add folds one result into the aggregate.
+func (a *Accumulator) Add(r Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs++
+	if r.Collision {
+		a.collisions++
+	}
+	if r.TerminatedEarly() {
+		a.early++
+	}
+	a.sum = a.sum.Add(r.Summary)
+}
+
+// Consume implements ResultSink.
+func (a *Accumulator) Consume(sr StreamResult) error {
+	a.Add(sr.Result)
+	return nil
+}
+
+// Runs returns the number of results folded so far.
+func (a *Accumulator) Runs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.runs
+}
+
+// Collisions returns the number of runs that terminated on a collision.
+func (a *Accumulator) Collisions() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.collisions
+}
+
+// EarlyTerminations returns the number of runs that stopped before their
+// scheduled duration.
+func (a *Accumulator) EarlyTerminations() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.early
+}
+
+// Summary returns the aggregate hit / false-negative / false-positive
+// classification — the sweep-level empirical estimate of the residual
+// emergence X and Y of thesis §3.4.
+func (a *Accumulator) Summary() monitor.Summary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sum
+}
+
+// SweepResult snapshots the aggregate as a SweepResult.  Jobs and Results are
+// nil: an online accumulator never retains per-run state.
+func (a *Accumulator) SweepResult() SweepResult {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return SweepResult{
+		Aggregate:         a.sum,
+		Collisions:        a.collisions,
+		EarlyTerminations: a.early,
+	}
+}

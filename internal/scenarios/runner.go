@@ -1,12 +1,9 @@
 package scenarios
 
-import (
-	"runtime"
-	"sync"
-)
+import "context"
 
-// Job is one unit of work for a Runner: a scenario together with the options
-// it should run under.  Distinct jobs may pair the same scenario with
+// Job is one unit of work for the evaluation: a scenario together with the
+// options it should run under.  Distinct jobs may pair the same scenario with
 // different options (e.g. the corrected-defects ablation).
 type Job struct {
 	// Scenario is the configuration to run.
@@ -15,11 +12,16 @@ type Job struct {
 	Options Options
 }
 
-// Runner executes batches of scenario jobs on a fixed-size worker pool.
+// Runner is the batch-mode compatibility wrapper over the streaming Engine:
+// it materializes every job and retains every Result, which is convenient for
+// bounded batches (the ten thesis scenarios, the 120-variant default sweep)
+// and prohibitive for large ones.  New code — and anything that sweeps
+// thousands of variants — should construct an Engine and use Stream with a
+// lazy JobSource and an explicit retention policy.
 //
-// Every job is fully isolated: RunWithOptions builds a fresh sim.Engine, Bus,
-// component set and monitor Suite per run, and no package in the run path
-// keeps mutable package-level state, so jobs can execute concurrently without
+// Every job is fully isolated (each run builds a fresh sim.Engine, Bus,
+// component set and monitor Suite, and no package in the run path keeps
+// mutable package-level state), so jobs execute concurrently without
 // synchronisation.  Results are always returned in input order, so a parallel
 // batch is indistinguishable from a sequential one except for wall-clock
 // time.
@@ -29,48 +31,21 @@ type Runner struct {
 	Workers int
 }
 
-// workerCount resolves the effective pool size for a batch of n jobs.
-func (r Runner) workerCount(n int) int {
-	w := r.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
+// engine builds the Engine a Runner delegates to.
+func (r Runner) engine() *Engine {
+	return NewEngine(WithWorkers(r.Workers))
 }
 
 // Run executes every job and returns the results in input order.
 func (r Runner) Run(jobs []Job) []Result {
 	out := make([]Result, len(jobs))
-	workers := r.workerCount(len(jobs))
-	if workers == 1 {
-		for i, j := range jobs {
-			out[i] = RunWithOptions(j.Scenario, j.Options)
-		}
-		return out
-	}
-
-	indices := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				out[i] = RunWithOptions(jobs[i].Scenario, jobs[i].Options)
-			}
-		}()
-	}
-	for i := range jobs {
-		indices <- i
-	}
-	close(indices)
-	wg.Wait()
+	// The context is never cancelled and the sink never fails, so Stream
+	// cannot return an error here.
+	_ = r.engine().Stream(context.Background(), SliceSource(jobs), SinkFunc(
+		func(sr StreamResult) error {
+			out[sr.Index] = sr.Result
+			return nil
+		}))
 	return out
 }
 
@@ -95,7 +70,7 @@ func RunAllWithOptions(opts Options) []Result {
 }
 
 // RunAllSequential executes every thesis scenario on a single worker; it is
-// the reference path the parallel Runner is checked against.
+// the reference path the parallel Engine is checked against.
 func RunAllSequential() []Result {
 	return Runner{Workers: 1}.RunScenarios(Scenarios(), Options{})
 }

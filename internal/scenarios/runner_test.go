@@ -61,17 +61,17 @@ func sequentialResults(t *testing.T) []Result {
 }
 
 func TestRunnerWorkerCount(t *testing.T) {
-	if got := (Runner{Workers: 8}).workerCount(3); got != 3 {
-		t.Errorf("pool should shrink to the job count, got %d", got)
+	if got := NewEngine(WithWorkers(8)).workerCount(); got != 8 {
+		t.Errorf("explicit pool size must be honoured, got %d", got)
 	}
-	if got := (Runner{Workers: -1}).workerCount(0); got != 1 {
-		t.Errorf("empty batches still need one worker, got %d", got)
-	}
-	if got := (Runner{}).workerCount(100); got < 1 {
-		t.Errorf("default pool size must be positive, got %d", got)
+	if got := NewEngine(WithWorkers(-1)).workerCount(); got < 1 {
+		t.Errorf("defaulted pool size must be positive, got %d", got)
 	}
 	if out := (Runner{Workers: 4}).Run(nil); len(out) != 0 {
 		t.Errorf("running no jobs should return no results, got %d", len(out))
+	}
+	if out := (Runner{Workers: -1}).Run(nil); len(out) != 0 {
+		t.Errorf("running no jobs on a defaulted pool should return no results, got %d", len(out))
 	}
 }
 

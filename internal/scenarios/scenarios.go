@@ -1,6 +1,8 @@
 package scenarios
 
 import (
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/monitor"
@@ -49,11 +51,16 @@ type Scenario struct {
 type Result struct {
 	// Scenario is the configuration that was run.
 	Scenario Scenario
-	// Trace is the recorded state trace.
+	// Steps is the number of simulation steps executed.  Unlike Trace, it
+	// survives every retention policy.
+	Steps int
+	// Trace is the recorded state trace (nil under SummaryOnly retention).
 	Trace *temporal.Trace
-	// Suite holds the goal and subgoal monitors after the run.
+	// Suite holds the goal and subgoal monitors after the run (nil under
+	// SummaryOnly retention).
 	Suite *monitor.Suite
-	// Detections are the classified correspondences per system goal.
+	// Detections are the classified correspondences per system goal (nil
+	// under SummaryOnly retention).
 	Detections map[string][]monitor.Detection
 	// Summary aggregates the detections.
 	Summary monitor.Summary
@@ -64,7 +71,7 @@ type Result struct {
 // TerminatedEarly reports whether the run stopped before its scheduled
 // duration.
 func (r Result) TerminatedEarly() bool {
-	return r.Trace.Len() < int(r.Scenario.Duration/Period)
+	return r.Steps < int(r.Scenario.Duration/Period)
 }
 
 // Scenarios returns the ten evaluation scenarios of Section 5.4.
@@ -207,6 +214,18 @@ type Options struct {
 	CorrectDefects bool
 }
 
+// Label returns a short, stable identifier covering every Options field, used
+// to build variant names.  Two distinct option values always produce distinct
+// labels; TestOptionsLabelCoversAllFields enforces that any field added to
+// Options is also added here, so sweep variant names can never collide on an
+// unlabelled option.
+func (o Options) Label() string {
+	var b strings.Builder
+	b.WriteString("corrected=")
+	b.WriteString(strconv.FormatBool(o.CorrectDefects))
+	return b.String()
+}
+
 // Run executes one scenario with the full Table 5.3 monitoring suite and the
 // thesis' seeded defects in place.
 func Run(sc Scenario) Result { return RunWithOptions(sc, Options{}) }
@@ -214,8 +233,18 @@ func Run(sc Scenario) Result { return RunWithOptions(sc, Options{}) }
 // RunCorrected executes one scenario with every seeded defect removed.
 func RunCorrected(sc Scenario) Result { return RunWithOptions(sc, Options{CorrectDefects: true}) }
 
-// RunWithOptions executes one scenario with explicit options.
+// RunWithOptions executes one scenario with explicit options, retaining the
+// full trace and monitor suite on the Result.
 func RunWithOptions(sc Scenario, opts Options) Result {
+	return runJob(sc, opts, KeepTrace)
+}
+
+// runJob executes one scenario under the given trace-retention policy.  It is
+// the single execution path shared by RunWithOptions and the streaming
+// Engine; under SummaryOnly the simulation records no trace at all (the
+// monitors observe the live bus state), so a run allocates O(1) retained
+// state instead of O(steps).
+func runJob(sc Scenario, opts Options, retention Retention) Result {
 	s := sim.New(Period)
 	bus := s.Bus
 	bus.InitNumber(vehicle.SigPeriodSeconds, Period.Seconds())
@@ -284,21 +313,36 @@ func RunWithOptions(sc Scenario, opts Options) Result {
 	s.StopWhen(func(_ time.Duration, st temporal.State) bool { return st.Bool(vehicle.SigCollision) })
 
 	// Normalize the default duration into the scenario recorded on the
-	// Result, so Result.TerminatedEarly compares the trace against the
-	// duration that was actually scheduled.
+	// Result, so Result.TerminatedEarly compares the executed steps against
+	// the duration that was actually scheduled.
 	if sc.Duration <= 0 {
 		sc.Duration = 20 * time.Second
 	}
-	trace := s.Run(sc.Duration)
+
+	var (
+		trace *temporal.Trace
+		steps int
+		last  temporal.State
+	)
+	if retention == SummaryOnly {
+		steps, last = s.RunDiscard(sc.Duration)
+	} else {
+		trace = s.Run(sc.Duration)
+		steps, last = trace.Len(), trace.Last()
+	}
 	suite.Finish()
 
-	collision := trace.Len() > 0 && trace.Last().Bool(vehicle.SigCollision)
-	return Result{
-		Scenario:   sc,
-		Trace:      trace,
-		Suite:      suite,
-		Detections: suite.Classify(),
-		Summary:    suite.Summary(),
-		Collision:  collision,
+	detections, summary := suite.ClassifyAll()
+	out := Result{
+		Scenario:  sc,
+		Steps:     steps,
+		Summary:   summary,
+		Collision: last != nil && last.Bool(vehicle.SigCollision),
 	}
+	if retention != SummaryOnly {
+		out.Trace = trace
+		out.Suite = suite
+		out.Detections = detections
+	}
+	return out
 }

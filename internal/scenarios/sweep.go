@@ -2,6 +2,8 @@ package scenarios
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/monitor"
 )
@@ -46,51 +48,113 @@ func (f Family) Size() int {
 	return n
 }
 
-// Variants expands the family into concrete jobs.  Variant names extend the
-// base name with the parameter assignment so every job in a sweep is
-// identifiable in reports and JSON output.
-func (f Family) Variants() []Job {
-	speeds := f.InitialSpeeds
+// axes resolves every axis to its effective values, substituting the base
+// value for empty axes.
+func (f Family) axes() (speeds, distances, objSpeeds []float64, gears []string, optionSets []Options) {
+	speeds = f.InitialSpeeds
 	if len(speeds) == 0 {
 		speeds = []float64{f.Base.InitialSpeed}
 	}
-	distances := f.ObjectDistances
+	distances = f.ObjectDistances
 	if len(distances) == 0 {
 		distances = []float64{f.Base.ObjectDistance}
 	}
-	objSpeeds := f.ObjectSpeeds
+	objSpeeds = f.ObjectSpeeds
 	if len(objSpeeds) == 0 {
 		objSpeeds = []float64{f.Base.ObjectSpeed}
 	}
-	gears := f.Gears
+	gears = f.Gears
 	if len(gears) == 0 {
 		gears = []string{f.Base.Gear}
 	}
-	optionSets := f.OptionSets
+	optionSets = f.OptionSets
 	if len(optionSets) == 0 {
 		optionSets = []Options{{}}
 	}
+	return speeds, distances, objSpeeds, gears, optionSets
+}
 
+// variantName builds the variant identifier for one parameter assignment.
+// It runs once per variant in the sweep-setup hot path, so it is built with
+// strconv and a strings.Builder rather than fmt.  The options label covers
+// every Options field, so option sets differing in any field never collide.
+func variantName(base string, speed, dist, objSpeed float64, gear string, opts Options) string {
+	var b strings.Builder
+	b.Grow(len(base) + len(gear) + 64)
+	b.WriteString(base)
+	b.WriteString("/speed=")
+	b.WriteString(strconv.FormatFloat(speed, 'g', -1, 64))
+	b.WriteString(",dist=")
+	b.WriteString(strconv.FormatFloat(dist, 'g', -1, 64))
+	b.WriteString(",objspeed=")
+	b.WriteString(strconv.FormatFloat(objSpeed, 'g', -1, 64))
+	b.WriteString(",gear=")
+	b.WriteString(gear)
+	b.WriteByte(',')
+	b.WriteString(opts.Label())
+	return b.String()
+}
+
+// variantAt materializes the variant for one axis-index assignment.
+func (f Family) variantAt(speed, dist, objSpeed float64, gear string, opts Options) Job {
+	sc := f.Base
+	sc.InitialSpeed = speed
+	sc.ObjectDistance = dist
+	sc.ObjectSpeed = objSpeed
+	sc.Gear = gear
+	sc.Name = variantName(f.Base.Name, speed, dist, objSpeed, gear, opts)
+	return Job{Scenario: sc, Options: opts}
+}
+
+// Variants expands the family into concrete jobs.  Variant names extend the
+// base name with the parameter assignment so every job in a sweep is
+// identifiable in reports and JSON output.  Large grids should prefer
+// Source, which yields the same jobs in the same order without materializing
+// the slice.
+func (f Family) Variants() []Job {
 	jobs := make([]Job, 0, f.Size())
-	for _, speed := range speeds {
-		for _, dist := range distances {
-			for _, objSpeed := range objSpeeds {
-				for _, gear := range gears {
-					for _, opts := range optionSets {
-						sc := f.Base
-						sc.InitialSpeed = speed
-						sc.ObjectDistance = dist
-						sc.ObjectSpeed = objSpeed
-						sc.Gear = gear
-						sc.Name = fmt.Sprintf("%s/speed=%g,dist=%g,objspeed=%g,gear=%s,corrected=%t",
-							f.Base.Name, speed, dist, objSpeed, gear, opts.CorrectDefects)
-						jobs = append(jobs, Job{Scenario: sc, Options: opts})
-					}
-				}
+	src := f.Source()
+	for {
+		j, ok := src.Next()
+		if !ok {
+			return jobs
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+// Source returns a lazy generator over the family's cartesian product,
+// yielding the same jobs in the same order as Variants.  Each variant is
+// built on demand — an odometer over the axis indices — so a sweep of any
+// size holds O(1) jobs in memory.
+func (f Family) Source() JobSource {
+	speeds, distances, objSpeeds, gears, optionSets := f.axes()
+	// idx is the odometer, least-significant axis last (matching the
+	// nesting order of the original expansion loop).
+	var idx [5]int
+	dims := [5]int{len(speeds), len(distances), len(objSpeeds), len(gears), len(optionSets)}
+	done := false
+	return SourceFunc(func() (Job, bool) {
+		if done {
+			return Job{}, false
+		}
+		j := f.variantAt(
+			speeds[idx[0]], distances[idx[1]], objSpeeds[idx[2]],
+			gears[idx[3]], optionSets[idx[4]],
+		)
+		for axis := len(idx) - 1; ; axis-- {
+			idx[axis]++
+			if idx[axis] < dims[axis] {
+				break
+			}
+			idx[axis] = 0
+			if axis == 0 {
+				done = true
+				break
 			}
 		}
-	}
-	return jobs
+		return j, true
+	})
 }
 
 // Sweep is a batch of families evaluated together.
@@ -99,7 +163,9 @@ type Sweep struct {
 	Families []Family
 }
 
-// Size returns the total number of variants across all families.
+// Size returns the total number of variants across all families.  The count
+// is exact: Size() == len(Jobs()) and Source yields exactly Size() jobs,
+// whatever mix of empty and partial axes the families use.
 func (s Sweep) Size() int {
 	n := 0
 	for _, f := range s.Families {
@@ -108,7 +174,8 @@ func (s Sweep) Size() int {
 	return n
 }
 
-// Jobs expands every family, in family order.
+// Jobs expands every family, in family order.  Large sweeps should prefer
+// Source, which yields the same jobs in the same order lazily.
 func (s Sweep) Jobs() []Job {
 	jobs := make([]Job, 0, s.Size())
 	for _, f := range s.Families {
@@ -117,12 +184,25 @@ func (s Sweep) Jobs() []Job {
 	return jobs
 }
 
+// Source returns a lazy generator over every family, in family order,
+// yielding the same jobs in the same order as Jobs without materializing
+// them.
+func (s Sweep) Source() JobSource {
+	srcs := make([]JobSource, len(s.Families))
+	for i, f := range s.Families {
+		srcs[i] = f.Source()
+	}
+	return ConcatSources(srcs...)
+}
+
 // SweepResult is the outcome of one sweep: the per-variant results in job
 // order and the cross-variant aggregates.
 type SweepResult struct {
-	// Jobs are the executed variants, in order.
+	// Jobs are the executed variants, in order (nil when the sweep was
+	// aggregated online, e.g. by Accumulator.SweepResult).
 	Jobs []Job
-	// Results are the per-variant outcomes, index-aligned with Jobs.
+	// Results are the per-variant outcomes, index-aligned with Jobs (nil
+	// when the sweep was aggregated online).
 	Results []Result
 	// Aggregate is the hit / false-negative / false-positive classification
 	// summed over every variant — the sweep-level empirical estimate of the
@@ -137,25 +217,22 @@ type SweepResult struct {
 
 // Collect assembles a SweepResult from executed jobs: the cross-variant
 // aggregate summary and the collision / early-termination counts.  It is the
-// single place batch bookkeeping lives, shared by RunSweep and any front-end
+// batch form of the online Accumulator, shared by RunSweep and any front-end
 // that runs jobs itself.
 func Collect(jobs []Job, results []Result) SweepResult {
-	out := SweepResult{Jobs: jobs, Results: results}
-	summaries := make([]monitor.Summary, len(results))
-	for i, res := range results {
-		summaries[i] = res.Summary
-		if res.Collision {
-			out.Collisions++
-		}
-		if res.TerminatedEarly() {
-			out.EarlyTerminations++
-		}
+	var acc Accumulator
+	for _, res := range results {
+		acc.Add(res)
 	}
-	out.Aggregate = monitor.Sum(summaries...)
+	out := acc.SweepResult()
+	out.Jobs = jobs
+	out.Results = results
 	return out
 }
 
-// RunSweep expands and executes a sweep on the runner's worker pool.
+// RunSweep expands and executes a sweep on the runner's worker pool.  It
+// materializes every job and retains every result; large sweeps should use
+// Engine.Stream with Sweep.Source and SummaryOnly retention instead.
 func (r Runner) RunSweep(s Sweep) SweepResult {
 	jobs := s.Jobs()
 	return Collect(jobs, r.Run(jobs))
@@ -170,8 +247,9 @@ func (r Runner) RunSweep(s Sweep) SweepResult {
 // stay meaningful; distances are scaled so objects stay on the same side of
 // the host.
 func DefaultSweep() Sweep {
-	var families []Family
-	for _, base := range Scenarios() {
+	bases := Scenarios()
+	families := make([]Family, 0, len(bases))
+	for _, base := range bases {
 		families = append(families, Family{
 			Base: base,
 			InitialSpeeds: []float64{
@@ -187,4 +265,67 @@ func DefaultSweep() Sweep {
 		})
 	}
 	return Sweep{Families: families}
+}
+
+// WideSweep widens DefaultSweep with an object-speed axis: each base
+// scenario's object is also evaluated moving away from and toward the host —
+// 360 variants.
+func WideSweep() Sweep {
+	sw := DefaultSweep()
+	for i := range sw.Families {
+		base := sw.Families[i].Base
+		sw.Families[i].ObjectSpeeds = []float64{
+			base.ObjectSpeed,
+			base.ObjectSpeed + 1,
+			base.ObjectSpeed - 1,
+		}
+	}
+	return sw
+}
+
+// HugeSweep widens WideSweep further with a fourth initial speed, a third
+// object distance and — where it is meaningful — the gear axis: 4×3×3×2
+// variants per base scenario, doubled to 144 for scenarios whose driver
+// schedule does not immediately override the starting gear (the reverse
+// scenarios select "R" at t=0, so a gear axis there would only duplicate
+// runs).  1296 variants in total.  It exists to exercise the streaming
+// Engine at a scale where materializing jobs or retaining traces would be
+// prohibitive; run it with Sweep.Source and SummaryOnly retention.
+func HugeSweep() Sweep {
+	sw := WideSweep()
+	for i := range sw.Families {
+		base := sw.Families[i].Base
+		sw.Families[i].InitialSpeeds = append(sw.Families[i].InitialSpeeds, base.InitialSpeed+4)
+		sw.Families[i].ObjectDistances = append(sw.Families[i].ObjectDistances, base.ObjectDistance*1.2)
+		if !setsGearAtStart(base) {
+			sw.Families[i].Gears = []string{"D", "R"}
+		}
+	}
+	return sw
+}
+
+// setsGearAtStart reports whether the scenario's driver schedule selects a
+// gear at t=0, which would override any value a Gears axis assigns.
+func setsGearAtStart(sc Scenario) bool {
+	for _, a := range sc.Driver {
+		if a.At == 0 && a.Gear != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// SweepBySize returns the named sweep preset: "default" (120 variants),
+// "wide" (360) or "huge" (1296).
+func SweepBySize(name string) (Sweep, error) {
+	switch name {
+	case "", "default":
+		return DefaultSweep(), nil
+	case "wide":
+		return WideSweep(), nil
+	case "huge":
+		return HugeSweep(), nil
+	default:
+		return Sweep{}, fmt.Errorf("unknown sweep size %q (want default, wide or huge)", name)
+	}
 }

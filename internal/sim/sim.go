@@ -8,7 +8,8 @@
 // KAOS convention — used throughout the thesis — that monitored values are
 // observed one state late.  The kernel records a temporal.Trace of the
 // committed state at every step, which the monitor package and the figure
-// extractors consume.
+// extractors consume; RunDiscard skips the recording for callers that only
+// need the observers' verdicts (e.g. summary-only scenario sweeps).
 package sim
 
 import (
@@ -150,16 +151,45 @@ func (s *Simulation) StopWhen(fn func(now time.Duration, state temporal.State) b
 // Run executes the simulation for the given duration (or until the stop
 // predicate fires) and returns the recorded trace of committed states.
 func (s *Simulation) Run(d time.Duration) *temporal.Trace {
+	trace, _, _ := s.run(d, true)
+	return trace
+}
+
+// RunDiscard executes the simulation like Run but records no trace: observers
+// and the stop predicate receive the live bus state instead of a per-step
+// snapshot, so a run allocates O(1) state instead of O(steps).  It returns
+// the number of executed steps and an independent copy of the final committed
+// state.
+//
+// Observers registered on a discarding run must treat the state as valid only
+// for the duration of the call: it is mutated in place by the next commit.
+// Incremental monitors (temporal.Stepper and everything built on it) already
+// satisfy this — they evaluate atoms immediately and retain only operator
+// state — which is what makes trace-free sweeps possible.
+func (s *Simulation) RunDiscard(d time.Duration) (steps int, last temporal.State) {
+	_, steps, last = s.run(d, false)
+	return steps, last
+}
+
+func (s *Simulation) run(d time.Duration, retain bool) (*temporal.Trace, int, temporal.State) {
 	steps := int(d / s.Period)
-	trace := temporal.NewTraceWithCapacity(s.Period, steps)
+	var trace *temporal.Trace
+	if retain {
+		trace = temporal.NewTraceWithCapacity(s.Period, steps)
+	}
+	executed := 0
 	for i := 0; i < steps; i++ {
 		now := time.Duration(i) * s.Period
 		for _, c := range s.components {
 			c.Step(now, s.Bus)
 		}
 		s.Bus.commit()
-		snapshot := s.Bus.Snapshot()
-		trace.Append(snapshot)
+		snapshot := s.Bus.current
+		if retain {
+			snapshot = s.Bus.Snapshot()
+			trace.Append(snapshot)
+		}
+		executed++
 		for _, obs := range s.observers {
 			obs(now, snapshot)
 		}
@@ -167,5 +197,11 @@ func (s *Simulation) Run(d time.Duration) *temporal.Trace {
 			break
 		}
 	}
-	return trace
+	var last temporal.State
+	if retain {
+		last = trace.Last()
+	} else if executed > 0 {
+		last = s.Bus.Snapshot()
+	}
+	return trace, executed, last
 }

@@ -161,3 +161,63 @@ func TestSimulationZeroDuration(t *testing.T) {
 		t.Errorf("zero-duration run should produce an empty trace, got %d", tr.Len())
 	}
 }
+
+// newCountingSim builds a simulation with one counter component, mirroring
+// TestSimulationObserversAndStop, for the RunDiscard equivalence tests.
+func newCountingSim() *Simulation {
+	s := New(time.Millisecond)
+	s.Bus.InitNumber("count", 0)
+	s.Add(StepFunc{ComponentName: "counter", Fn: func(_ time.Duration, b *Bus) {
+		b.WriteNumber("count", b.ReadNumber("count")+1)
+	}})
+	return s
+}
+
+// TestRunDiscardMatchesRun checks that a discarding run executes the same
+// steps, shows observers the same state sequence and reports the same final
+// state as a retaining run — it only skips the per-step snapshots.
+func TestRunDiscardMatchesRun(t *testing.T) {
+	ref := newCountingSim()
+	tr := ref.Run(10 * time.Millisecond)
+
+	s := newCountingSim()
+	var observed []float64
+	s.OnStep(func(_ time.Duration, st temporal.State) { observed = append(observed, st.Number("count")) })
+	steps, last := s.RunDiscard(10 * time.Millisecond)
+
+	if steps != tr.Len() {
+		t.Fatalf("RunDiscard executed %d steps, Run recorded %d", steps, tr.Len())
+	}
+	if len(observed) != tr.Len() {
+		t.Fatalf("observers ran %d times, want %d", len(observed), tr.Len())
+	}
+	for i, v := range observed {
+		if want := tr.At(i).Number("count"); v != want {
+			t.Errorf("observed count at step %d = %v, want %v", i, v, want)
+		}
+	}
+	if got, want := last.Number("count"), tr.Last().Number("count"); got != want {
+		t.Errorf("final state count = %v, want %v", got, want)
+	}
+}
+
+// TestRunDiscardStopAndLastIndependence checks early termination and that the
+// returned final state does not alias the live bus.
+func TestRunDiscardStopAndLastIndependence(t *testing.T) {
+	s := newCountingSim()
+	s.StopWhen(func(_ time.Duration, st temporal.State) bool { return st.Number("count") >= 5 })
+	steps, last := s.RunDiscard(time.Second)
+	if steps != 5 {
+		t.Fatalf("early stop should halt after 5 steps, got %d", steps)
+	}
+	s.Bus.WriteNumber("count", 99)
+	s.Bus.commit()
+	if last.Number("count") != 5 {
+		t.Error("RunDiscard's final state must not alias the live bus state")
+	}
+
+	zero := New(time.Millisecond)
+	if steps, last := zero.RunDiscard(0); steps != 0 || last != nil {
+		t.Errorf("zero-duration discard run = (%d, %v), want (0, nil)", steps, last)
+	}
+}
