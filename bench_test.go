@@ -18,6 +18,7 @@ import (
 	"repro/internal/hazard"
 	"repro/internal/monitor"
 	"repro/internal/scenarios"
+	"repro/internal/sim"
 	"repro/internal/temporal"
 	"repro/internal/vehicle"
 )
@@ -369,6 +370,74 @@ func BenchmarkViolationClassification(b *testing.B) {
 // ---------------------------------------------------------------------------
 // Monitoring substrate micro-benchmarks
 // ---------------------------------------------------------------------------
+
+// vehicleSizedBus returns the bus of a real scenario run after a few steps,
+// so its schema holds exactly the signal vocabulary a production run interns
+// (bus initialisation plus every component's handle set) and the
+// commit/snapshot benchmarks measure the true register-file width.  Reusing
+// scenarios.NewSimulation keeps one source of truth: a signal added to the
+// scenario setup or a component automatically widens this bus too.
+func vehicleSizedBus() *sim.Bus {
+	sc, ok := scenarios.ScenarioByNumber(1)
+	if !ok {
+		panic("scenario 1 missing")
+	}
+	s := scenarios.NewSimulation(sc, scenarios.Options{})
+	s.Run(10 * time.Millisecond) // step every component so all handles bind
+	return s.Bus
+}
+
+// BenchmarkBusCommit measures the per-step cost of making buffered writes
+// visible on a vehicle-sized bus: a register-file copy under the slot-indexed
+// representation, versus a full map merge under the map-backed one.
+func BenchmarkBusCommit(b *testing.B) {
+	bus := vehicleSizedBus()
+	speed := bus.NumVar(vehicle.SigVehicleSpeed)
+	accel := bus.NumVar(vehicle.SigVehicleAccel)
+	stopped := bus.BoolVar(vehicle.SigVehicleStopped)
+	source := bus.StringVar(vehicle.SigAccelSource)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		speed.Write(float64(i))
+		accel.Write(0.5)
+		stopped.Write(i%2 == 0)
+		source.Write(vehicle.SourceACC)
+		bus.Commit()
+	}
+}
+
+// BenchmarkStateSnapshot measures cloning the committed state, the per-step
+// cost of trace retention.
+func BenchmarkStateSnapshot(b *testing.B) {
+	bus := vehicleSizedBus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bus.Snapshot()
+	}
+}
+
+// BenchmarkStepperStep measures one incremental evaluation of a bounded-past
+// goal formula compiled against the observed state's schema, the inner loop
+// of every run-time monitor.
+func BenchmarkStepperStep(b *testing.B) {
+	schema := temporal.NewSchema()
+	formula := temporal.MustParse(
+		"(prevfor[500ms](Stopped) & !prevwithin[500ms](Throttle) & FromSubsystem) => Accel <= 0.05")
+	stepper, err := temporal.CompileWithSchema(formula, time.Millisecond, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := temporal.NewStateWith(schema).
+		SetBool("Stopped", true).SetBool("Throttle", false).
+		SetBool("FromSubsystem", true).SetNumber("Accel", 0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stepper.Step(state)
+	}
+}
 
 func BenchmarkTemporalStepper(b *testing.B) {
 	formula := temporal.MustParse(

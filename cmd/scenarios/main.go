@@ -18,11 +18,14 @@
 // line — so downstream tooling can consume results while the sweep is still
 // running.
 //
+// -cpuprofile and -memprofile write pprof profiles of the evaluation, so
+// sweep hot spots can be inspected without editing code.
+//
 // Usage:
 //
 //	scenarios [-n number] [-detail] [-table53] [-goals] [-corrected]
 //	          [-workers n] [-timeout d] [-sweep] [-sweep-size s]
-//	          [-json] [-stream]
+//	          [-json] [-stream] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -32,6 +35,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/monitor"
 	"repro/internal/scenarios"
@@ -115,9 +120,11 @@ func run(args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "worker-pool size for scenario execution (default GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "bound the whole evaluation; on expiry in-flight runs drain and the partial aggregate is reported (0 = no bound)")
 	sweep := fs.Bool("sweep", false, "evaluate a parameter sweep instead of the ten fixed scenarios")
-	sweepSize := fs.String("sweep-size", "default", "sweep grid preset: default (120 variants), wide (360, adds object speeds) or huge (1296, adds speeds, distances and gears where meaningful)")
+	sweepSize := fs.String("sweep-size", "default", "sweep grid preset: default (120 variants), wide (360, adds object speeds), huge (1296, adds speeds, distances and gears where meaningful) or tolerance (30, varies the hit-matching window)")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary instead of the rendered tables")
 	stream := fs.Bool("stream", false, "emit NDJSON: one line per completed run, then a final aggregate line")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the evaluation to this file (inspect with go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the evaluation finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +132,35 @@ func run(args []string, w io.Writer) error {
 
 	if (*asJSON || *stream) && (*table53 || *showGoals) {
 		return fmt.Errorf("-json/-stream cannot be combined with -table53 or -goals: the rendered tables would corrupt the output stream")
+	}
+
+	// Profiling hooks, so sweep hot spots can be inspected without editing
+	// code: scenarios -sweep -sweep-size huge -cpuprofile cpu.out.  They
+	// start after flag validation so an erroneous invocation never truncates
+	// an existing profile file.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // materialize the final live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *showGoals {

@@ -11,6 +11,17 @@
 // Chapter 4 distributed elevator and the Chapter 5 semi-autonomous vehicle
 // with its ten evaluation scenarios.
 //
+// State is slot-indexed: each scenario run owns a temporal.Schema (an
+// interned name → slot symbol table) and a temporal.State is a dense
+// register file over it, so a bus commit is a slice copy, a snapshot is a
+// slice clone, and goal monitors compiled with temporal.CompileWithSchema
+// evaluate their atoms as array loads — no string hashing anywhere on the
+// per-step path.  Components address signals through typed handles
+// (sim.Bus.NumVar/BoolVar/StringVar); the name-keyed bus and state APIs
+// remain as the schema-resolving compatibility path, and differential tests
+// prove the slot-indexed and string-keyed evaluations produce identical
+// detections across the full evaluation.
+//
 // Scenario evaluation is built around the streaming scenarios.Engine: jobs
 // are pulled lazily from a JobSource (Family and Sweep expose generator
 // forms, so a parameter grid of any size never materializes a job slice),

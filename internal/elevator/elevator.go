@@ -96,15 +96,6 @@ const (
 // floorPosition converts a 1-based floor number to metres.
 func floorPosition(floor float64) float64 { return (floor - 1) * FloorHeight }
 
-// stepSeconds reads the simulation period published on the bus, defaulting
-// to 10 ms.
-func stepSeconds(bus *sim.Bus) float64 {
-	if dt := bus.ReadNumber(SigPeriodSeconds); dt > 0 {
-		return dt
-	}
-	return 0.01
-}
-
 // Drive is the hoistway drive actuator: it accelerates the car toward the
 // commanded target while DriveCommand is GO and brings it to a halt while
 // the command is STOP or the emergency brake is applied.  The response is
@@ -113,6 +104,8 @@ func stepSeconds(bus *sim.Bus) float64 {
 type Drive struct {
 	speed    float64
 	position float64
+
+	binding
 }
 
 // Name implements sim.Component.
@@ -120,10 +113,11 @@ func (d *Drive) Name() string { return "Drive" }
 
 // Step implements sim.Component.
 func (d *Drive) Step(_ time.Duration, bus *sim.Bus) {
-	dt := stepSeconds(bus)
-	command := bus.ReadString(SigDriveCommand)
-	target := bus.ReadNumber(SigDriveTarget)
-	braked := bus.ReadString(SigEmergencyBrake) == "APPLIED"
+	v := d.on(bus)
+	dt := v.stepSeconds()
+	command := v.driveCommand.Read()
+	target := v.driveTarget.Read()
+	braked := v.emergencyBrake.Read() == "APPLIED"
 
 	var desired float64
 	if command == "GO" && !braked {
@@ -157,9 +151,9 @@ func (d *Drive) Step(_ time.Duration, bus *sim.Bus) {
 		d.speed = 0
 	}
 
-	bus.WriteNumber(SigElevatorSpeed, d.speed)
-	bus.WriteNumber(SigElevatorPosition, d.position)
-	bus.WriteBool(SigElevatorStopped, math.Abs(d.speed) < StoppedSpeedEpsilon)
+	v.elevatorSpeed.Write(d.speed)
+	v.elevatorPosition.Write(d.position)
+	v.elevatorStopped.Write(math.Abs(d.speed) < StoppedSpeedEpsilon)
 }
 
 // DoorMotor is the door actuator: it drives the door position toward closed
@@ -171,6 +165,8 @@ type DoorMotor struct {
 	// the open initial state of Table 4.1.
 	StartClosed bool
 	started     bool
+
+	binding
 }
 
 // Name implements sim.Component.
@@ -178,16 +174,17 @@ func (m *DoorMotor) Name() string { return "DoorMotor" }
 
 // Step implements sim.Component.
 func (m *DoorMotor) Step(_ time.Duration, bus *sim.Bus) {
+	v := m.on(bus)
 	if !m.started {
 		if m.StartClosed {
 			m.position = 1
 		}
 		m.started = true
 	}
-	dt := stepSeconds(bus)
+	dt := v.stepSeconds()
 	rate := dt / DoorTravelTime.Seconds()
-	command := bus.ReadString(SigDoorMotorCommand)
-	blocked := bus.ReadBool(SigDoorBlocked)
+	command := v.doorMotorCommand.Read()
+	blocked := v.doorBlocked.Read()
 
 	switch command {
 	case "CLOSE":
@@ -203,14 +200,16 @@ func (m *DoorMotor) Step(_ time.Duration, bus *sim.Bus) {
 	if m.position < 0 {
 		m.position = 0
 	}
-	bus.WriteNumber(SigDoorPosition, m.position)
-	bus.WriteBool(SigDoorClosed, m.position >= 0.999)
+	v.doorPosition.Write(m.position)
+	v.doorClosed.Write(m.position >= 0.999)
 }
 
 // DispatchController latches hall and car calls into a destination floor for
 // the door and drive controllers.
 type DispatchController struct {
 	target float64
+
+	binding
 }
 
 // Name implements sim.Component.
@@ -218,12 +217,14 @@ func (c *DispatchController) Name() string { return "DispatchController" }
 
 // Step implements sim.Component.
 func (c *DispatchController) Step(_ time.Duration, bus *sim.Bus) {
-	for _, call := range []string{SigCarCall, SigHallCall} {
-		if f := bus.ReadNumber(call); f >= 1 {
-			c.target = f
-		}
+	v := c.on(bus)
+	if f := v.carCall.Read(); f >= 1 {
+		c.target = f
 	}
-	bus.WriteNumber(SigDispatchTarget, c.target)
+	if f := v.hallCall.Read(); f >= 1 {
+		c.target = f
+	}
+	v.dispatchTarget.Write(c.target)
 }
 
 // DriveController commands the drive toward the dispatched floor.  Its
@@ -245,6 +246,8 @@ type DriveController struct {
 	// this absolute position (in metres) regardless of the dispatched
 	// floor; used to exercise the hoistway-limit goals.
 	OverrunTargetTo float64
+
+	binding
 }
 
 // Name implements sim.Component.
@@ -252,11 +255,12 @@ func (c *DriveController) Name() string { return "DriveController" }
 
 // Step implements sim.Component.
 func (c *DriveController) Step(_ time.Duration, bus *sim.Bus) {
-	target := bus.ReadNumber(SigDispatchTarget)
-	position := bus.ReadNumber(SigElevatorPosition)
-	doorClosed := bus.ReadBool(SigDoorClosed)
-	doorCommand := bus.ReadString(SigDoorMotorCommand)
-	weight := bus.ReadNumber(SigElevatorWeight)
+	v := c.on(bus)
+	target := v.dispatchTarget.Read()
+	position := v.elevatorPosition.Read()
+	doorClosed := v.doorClosed.Read()
+	doorCommand := v.doorMotorCommand.Read()
+	weight := v.elevatorWeight.Read()
 
 	command := "STOP"
 	targetPos := position
@@ -279,13 +283,13 @@ func (c *DriveController) Step(_ time.Duration, bus *sim.Bus) {
 			command = "GO"
 		}
 	}
-	bus.WriteString(SigDriveCommand, command)
-	bus.WriteNumber(SigDriveTarget, targetPos)
+	v.driveCommand.Write(command)
+	v.driveTarget.Write(targetPos)
 	atFloor := 0.0
 	if target >= 1 && math.Abs(floorPosition(target)-position) < 0.01 {
 		atFloor = target
 	}
-	bus.WriteNumber(SigAtTargetFloor, atFloor)
+	v.atTargetFloor.Write(atFloor)
 }
 
 // DoorController opens the doors on arrival at the dispatched landing and
@@ -298,6 +302,8 @@ type DoorController struct {
 
 	dwellRemaining time.Duration
 	servedTarget   float64
+
+	binding
 }
 
 // Name implements sim.Component.
@@ -305,13 +311,14 @@ func (c *DoorController) Name() string { return "DoorController" }
 
 // Step implements sim.Component.
 func (c *DoorController) Step(_ time.Duration, bus *sim.Bus) {
-	dt := time.Duration(stepSeconds(bus) * float64(time.Second))
-	stopped := bus.ReadBool(SigElevatorStopped)
-	driveCommand := bus.ReadString(SigDriveCommand)
-	blocked := bus.ReadBool(SigDoorBlocked)
-	atFloor := bus.ReadNumber(SigAtTargetFloor)
-	position := bus.ReadNumber(SigElevatorPosition)
-	target := bus.ReadNumber(SigDispatchTarget)
+	v := c.on(bus)
+	dt := time.Duration(v.stepSeconds() * float64(time.Second))
+	stopped := v.elevatorStopped.Read()
+	driveCommand := v.driveCommand.Read()
+	blocked := v.doorBlocked.Read()
+	atFloor := v.atTargetFloor.Read()
+	position := v.elevatorPosition.Read()
+	target := v.dispatchTarget.Read()
 
 	arrivedAt := 0.0
 	if atFloor >= 1 && stopped && driveCommand != "GO" {
@@ -342,7 +349,7 @@ func (c *DoorController) Step(_ time.Duration, bus *sim.Bus) {
 		command = "CLOSE"
 		c.dwellRemaining = 0
 	}
-	bus.WriteString(SigDoorMotorCommand, command)
+	v.doorMotorCommand.Write(command)
 }
 
 // EmergencyBrake is the redundant-responsibility agent of Figure 4.11: it
@@ -352,6 +359,8 @@ type EmergencyBrake struct {
 	// Disabled removes the emergency brake's protection, for ablation runs.
 	Disabled bool
 	applied  bool
+
+	binding
 }
 
 // Name implements sim.Component.
@@ -359,14 +368,15 @@ func (b *EmergencyBrake) Name() string { return "EmergencyBrake" }
 
 // Step implements sim.Component.
 func (b *EmergencyBrake) Step(_ time.Duration, bus *sim.Bus) {
-	if !b.Disabled && bus.ReadNumber(SigElevatorPosition) >= HoistwayUpperLimit-MaxEmergencyBrakingDistance {
+	v := b.on(bus)
+	if !b.Disabled && v.elevatorPosition.Read() >= HoistwayUpperLimit-MaxEmergencyBrakingDistance {
 		b.applied = true
 	}
 	state := "RELEASED"
 	if b.applied {
 		state = "APPLIED"
 	}
-	bus.WriteString(SigEmergencyBrake, state)
+	v.emergencyBrake.Write(state)
 }
 
 // PassengerAction is one scheduled passenger behaviour.
@@ -391,6 +401,8 @@ type Passenger struct {
 
 	blockUntil time.Duration
 	weight     float64
+
+	binding
 }
 
 // Name implements sim.Component.
@@ -398,7 +410,8 @@ func (p *Passenger) Name() string { return "Passenger" }
 
 // Step implements sim.Component.
 func (p *Passenger) Step(now time.Duration, bus *sim.Bus) {
-	step := time.Duration(stepSeconds(bus) * float64(time.Second))
+	v := p.on(bus)
+	step := time.Duration(v.stepSeconds() * float64(time.Second))
 	carCall, hallCall := 0.0, 0.0
 	for _, a := range p.Actions {
 		if now >= a.At && now < a.At+step {
@@ -417,8 +430,8 @@ func (p *Passenger) Step(now time.Duration, bus *sim.Bus) {
 	if p.weight < 0 {
 		p.weight = 0
 	}
-	bus.WriteNumber(SigCarCall, carCall)
-	bus.WriteNumber(SigHallCall, hallCall)
-	bus.WriteBool(SigDoorBlocked, now < p.blockUntil)
-	bus.WriteNumber(SigElevatorWeight, p.weight)
+	v.carCall.Write(carCall)
+	v.hallCall.Write(hallCall)
+	v.doorBlocked.Write(now < p.blockUntil)
+	v.elevatorWeight.Write(p.weight)
 }

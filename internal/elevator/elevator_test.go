@@ -19,11 +19,11 @@ func TestFloorPosition(t *testing.T) {
 
 func TestStepSecondsDefault(t *testing.T) {
 	bus := sim.NewBus()
-	if got := stepSeconds(bus); got != 0.01 {
+	if got := bindVars(bus).stepSeconds(); got != 0.01 {
 		t.Errorf("default step = %v, want 0.01", got)
 	}
 	bus.InitNumber(SigPeriodSeconds, 0.002)
-	if got := stepSeconds(bus); got != 0.002 {
+	if got := bindVars(bus).stepSeconds(); got != 0.002 {
 		t.Errorf("step = %v, want 0.002", got)
 	}
 }

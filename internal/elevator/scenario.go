@@ -139,26 +139,41 @@ func Scenarios() []Scenario {
 
 // BuildSuite constructs the hierarchical monitor suite for the elevator: one
 // hierarchy per system goal, with the ICPA-derived subgoals as children.
+// Monitor atoms resolve their state-variable slots on the first observed
+// state; Run compiles the suite against the bus schema instead.
 func BuildSuite(period time.Duration) *monitor.Suite {
+	return buildSuite(period, nil)
+}
+
+// BuildSuiteWithSchema is BuildSuite compiled against a run's symbol table,
+// so every goal atom is a register-slot load from the first observation.
+func BuildSuiteWithSchema(period time.Duration, schema *temporal.Schema) *monitor.Suite {
+	return buildSuite(period, schema)
+}
+
+func buildSuite(period time.Duration, schema *temporal.Schema) *monitor.Suite {
 	registry := Goals()
 	suite := monitor.NewSuite()
+	mon := func(goal, location string) *monitor.Monitor {
+		return monitor.MustNewWithSchema(registry.MustGet(goal), location, period, schema)
+	}
 
 	suite.Add(monitor.NewHierarchy(
-		monitor.MustNew(registry.MustGet(GoalDoorClosedOrStopped), "Elevator", period),
+		mon(GoalDoorClosedOrStopped, "Elevator"),
 		matchTolerance,
-		monitor.MustNew(registry.MustGet(SubgoalCloseDoorWhenMoving), "DoorController", period),
-		monitor.MustNew(registry.MustGet(SubgoalStopWhenDoorOpen), "DriveController", period),
+		mon(SubgoalCloseDoorWhenMoving, "DoorController"),
+		mon(SubgoalStopWhenDoorOpen, "DriveController"),
 	))
 	suite.Add(monitor.NewHierarchy(
-		monitor.MustNew(registry.MustGet(GoalDriveStoppedWhenOverweight), "Elevator", period),
+		mon(GoalDriveStoppedWhenOverweight, "Elevator"),
 		matchTolerance,
-		monitor.MustNew(registry.MustGet(SubgoalDriveStopOverweight), "DriveController", period),
+		mon(SubgoalDriveStopOverweight, "DriveController"),
 	))
 	suite.Add(monitor.NewHierarchy(
-		monitor.MustNew(registry.MustGet(GoalBelowHoistwayLimit), "Elevator", period),
+		mon(GoalBelowHoistwayLimit, "Elevator"),
 		matchTolerance,
-		monitor.MustNew(registry.MustGet(SubgoalStopBeforeLimit), "DriveController", period),
-		monitor.MustNew(registry.MustGet(SubgoalEmergencyStopBeforeLimit), "EmergencyBrake", period),
+		mon(SubgoalStopBeforeLimit, "DriveController"),
+		mon(SubgoalEmergencyStopBeforeLimit, "EmergencyBrake"),
 	))
 	return suite
 }
@@ -189,7 +204,7 @@ func Run(sc Scenario) Result {
 	doorController := &DoorController{OpenWhileMoving: sc.DoorDefect}
 	brake := &EmergencyBrake{Disabled: sc.DisableEmergencyBrake}
 
-	s.Add(
+	components := []sim.Component{
 		&Passenger{Actions: sc.Passenger},
 		&DispatchController{},
 		driveController,
@@ -197,9 +212,12 @@ func Run(sc Scenario) Result {
 		brake,
 		&Drive{},
 		NewDoorMotor(),
-	)
+	}
+	// One shared handle table for the whole run instead of one per component.
+	BindAll(s.Bus, components...)
+	s.Add(components...)
 
-	suite := BuildSuite(DefaultPeriod)
+	suite := BuildSuiteWithSchema(DefaultPeriod, s.Bus.Schema())
 	s.OnStep(func(_ time.Duration, st temporal.State) { suite.Observe(st) })
 
 	duration := sc.Duration

@@ -77,12 +77,41 @@ type Monitor struct {
 // New creates a monitor for the goal at the given location.  The period is
 // the simulation state period used to convert bounded-past operators; it
 // returns an error when the goal's formal definition cannot be monitored at
-// run time (contains future-time operators).
+// run time (contains future-time operators).  The goal's atoms resolve their
+// state-variable slots on the first observed state; monitors deployed
+// against a known scenario should use NewWithSchema so the resolution
+// happens at compile time.
 func New(g goals.Goal, location string, period time.Duration) (*Monitor, error) {
+	return NewWithSchema(g, location, period, nil)
+}
+
+// NewWithSchema is New with the scenario's symbol table: every atom of the
+// goal formula is resolved to its register slot when the monitor is built,
+// so monitoring cost is a constant number of array loads per state from the
+// very first observation.
+func NewWithSchema(g goals.Goal, location string, period time.Duration, schema *temporal.Schema) (*Monitor, error) {
+	return build(g, location, period, func(f temporal.Formula) (*temporal.Stepper, error) {
+		return temporal.CompileWithSchema(f, period, schema)
+	})
+}
+
+// NewReference creates a monitor whose goal stepper evaluates atoms through
+// the string-keyed State API on every observation — the behaviour of the
+// map-backed state representation.  It exists for differential tests that
+// prove the slot-indexed monitors detect exactly the same violations.
+func NewReference(g goals.Goal, location string, period time.Duration) (*Monitor, error) {
+	return build(g, location, period, func(f temporal.Formula) (*temporal.Stepper, error) {
+		return temporal.CompileReference(f, period)
+	})
+}
+
+func build(g goals.Goal, location string, period time.Duration,
+	compile func(temporal.Formula) (*temporal.Stepper, error)) (*Monitor, error) {
+
 	if g.Formal == nil {
 		return nil, fmt.Errorf("monitor: goal %q has no formal definition", g.Name)
 	}
-	st, err := temporal.Compile(g.Formal, period)
+	st, err := compile(g.Formal)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: goal %q: %w", g.Name, err)
 	}
@@ -95,6 +124,16 @@ func New(g goals.Goal, location string, period time.Duration) (*Monitor, error) 
 // MustNew is like New but panics on error; for statically known goals.
 func MustNew(g goals.Goal, location string, period time.Duration) *Monitor {
 	m, err := New(g, location, period)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// MustNewWithSchema is like NewWithSchema but panics on error; for
+// statically known goals compiled against a run's schema.
+func MustNewWithSchema(g goals.Goal, location string, period time.Duration, schema *temporal.Schema) *Monitor {
+	m, err := NewWithSchema(g, location, period, schema)
 	if err != nil {
 		panic(err)
 	}

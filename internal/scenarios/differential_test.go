@@ -1,0 +1,149 @@
+package scenarios
+
+// Differential tests for the slot-indexed state refactor: the same
+// simulation is observed simultaneously by two monitor suites — one compiled
+// against the run's schema (atoms are register-slot loads) and one compiled
+// in reference mode (atoms evaluate through the string-keyed State API on
+// every step, the behaviour of the map-backed representation).  Identical
+// classifications across the ten thesis scenarios and the 120-variant
+// DefaultSweep prove the refactor changed the representation, not the
+// results.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/temporal"
+	"repro/internal/vehicle"
+)
+
+// buildReferenceSuite instantiates the Table 5.3 monitoring plan with
+// reference (string-keyed) goal steppers.
+func buildReferenceSuite(t *testing.T, period time.Duration, tolerance int) *monitor.Suite {
+	t.Helper()
+	suite := monitor.NewSuite()
+	for _, spec := range MonitoringPlan() {
+		parent, err := monitor.NewReference(spec.Parent.Goal, spec.Parent.Location, period)
+		if err != nil {
+			t.Fatalf("reference monitor %q: %v", spec.Parent.Goal.Name, err)
+		}
+		children := make([]*monitor.Monitor, 0, len(spec.Children))
+		for _, c := range spec.Children {
+			child, err := monitor.NewReference(c.Goal, c.Location, period)
+			if err != nil {
+				t.Fatalf("reference monitor %q: %v", c.Goal.Name, err)
+			}
+			children = append(children, child)
+		}
+		suite.Add(monitor.NewHierarchy(parent, tolerance, children...))
+	}
+	return suite
+}
+
+// runDifferential executes one scenario with both suites attached to the
+// same simulation and asserts identical detections and summaries.
+func runDifferential(t *testing.T, sc Scenario, opts Options) {
+	t.Helper()
+
+	s := NewSimulation(sc, opts)
+	slotSuite := buildSuite(Period, s.Bus.Schema(), opts.tolerance())
+	refSuite := buildReferenceSuite(t, Period, opts.tolerance())
+	s.OnStep(func(_ time.Duration, st temporal.State) {
+		slotSuite.Observe(st)
+		refSuite.Observe(st)
+	})
+	collision := s.Bus.Schema().Intern(vehicle.SigCollision)
+	s.StopWhen(func(_ time.Duration, st temporal.State) bool {
+		return st.Slot(collision).AsBool()
+	})
+
+	duration := sc.Duration
+	if duration <= 0 {
+		duration = 20 * time.Second
+	}
+	s.RunDiscard(duration)
+	slotSuite.Finish()
+	refSuite.Finish()
+
+	slotDetections, slotSummary := slotSuite.ClassifyAll()
+	refDetections, refSummary := refSuite.ClassifyAll()
+
+	if slotSummary != refSummary {
+		t.Errorf("%s (%s): slot-indexed summary %v != reference summary %v",
+			sc.Name, opts.Label(), slotSummary, refSummary)
+	}
+	if !reflect.DeepEqual(slotDetections, refDetections) {
+		t.Errorf("%s (%s): slot-indexed detections diverge from the string-keyed reference\nslot: %#v\nref:  %#v",
+			sc.Name, opts.Label(), slotDetections, refDetections)
+	}
+}
+
+// TestDifferentialThesisScenarios proves detection equivalence on the ten
+// thesis scenarios, in both the seeded-defect and corrected configurations.
+// -short trims the runs; the full 20 s durations run in CI.
+func TestDifferentialThesisScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		if testing.Short() {
+			sc.Duration = 2 * time.Second
+		}
+		t.Run(sc.Name, func(t *testing.T) {
+			runDifferential(t, sc, Options{})
+			runDifferential(t, sc, Options{CorrectDefects: true})
+		})
+	}
+}
+
+// TestDifferentialDefaultSweep proves detection equivalence across every
+// variant of the 120-variant DefaultSweep.  Durations are shortened so the
+// population runs in test time (the full-length scenarios are covered by
+// TestDifferentialThesisScenarios); every variant of the grid — all speeds,
+// distances and defect configurations — is exercised.
+func TestDifferentialDefaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all 120 DefaultSweep variants differentially")
+	}
+	sw := DefaultSweep()
+	for i := range sw.Families {
+		sw.Families[i].Base.Duration = 1 * time.Second
+	}
+	if sw.Size() != 120 {
+		t.Fatalf("DefaultSweep size = %d, want 120", sw.Size())
+	}
+	src := sw.Source()
+	runs := 0
+	for {
+		job, ok := src.Next()
+		if !ok {
+			break
+		}
+		runDifferential(t, job.Scenario, job.Options)
+		runs++
+	}
+	if runs != 120 {
+		t.Fatalf("differential sweep executed %d variants, want 120", runs)
+	}
+}
+
+// TestDifferentialToleranceSweep extends the equivalence proof to the
+// monitor-tolerance axis: a non-default matching window must shift both
+// implementations' classifications identically.
+func TestDifferentialToleranceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 30-variant tolerance sweep differentially")
+	}
+	sw := ToleranceSweep()
+	for i := range sw.Families {
+		sw.Families[i].Base.Duration = 1 * time.Second
+	}
+	src := sw.Source()
+	for {
+		job, ok := src.Next()
+		if !ok {
+			break
+		}
+		runDifferential(t, job.Scenario, job.Options)
+	}
+}

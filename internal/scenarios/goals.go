@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/goals"
 	"repro/internal/monitor"
+	"repro/internal/temporal"
 	"repro/internal/vehicle"
 )
 
@@ -318,22 +319,40 @@ func MonitoringPlan() []HierarchySpec {
 	return plan
 }
 
-// matchTolerance is the hit-matching window in states: command-level and
-// request-level violations may lead or lag the sensed vehicle response by
-// the powertrain response time plus the arbitration delay (roughly one
-// dominant time constant of the second-order response).
+// matchTolerance is the default hit-matching window in states: command-level
+// and request-level violations may lead or lag the sensed vehicle response
+// by the powertrain response time plus the arbitration delay (roughly one
+// dominant time constant of the second-order response).  Sweeps can vary it
+// through Options.MatchTolerance / Family.Tolerances.
 const matchTolerance = 150
 
-// BuildSuite instantiates the monitoring plan as run-time monitors.
+// BuildSuite instantiates the monitoring plan as run-time monitors with the
+// default matching tolerance.  Monitor atoms resolve their state-variable
+// slots on the first observed state; runners that know the scenario's bus
+// should prefer BuildSuiteWithSchema.
 func BuildSuite(period time.Duration) *monitor.Suite {
+	return buildSuite(period, nil, matchTolerance)
+}
+
+// BuildSuiteWithSchema instantiates the monitoring plan compiled against the
+// scenario's symbol table (typically sim.Bus.Schema()), so every goal atom
+// is a register-slot load from the first observed state onward.
+func BuildSuiteWithSchema(period time.Duration, schema *temporal.Schema) *monitor.Suite {
+	return buildSuite(period, schema, matchTolerance)
+}
+
+func buildSuite(period time.Duration, schema *temporal.Schema, tolerance int) *monitor.Suite {
+	if tolerance <= 0 {
+		tolerance = matchTolerance
+	}
 	suite := monitor.NewSuite()
 	for _, spec := range MonitoringPlan() {
-		parent := monitor.MustNew(spec.Parent.Goal, spec.Parent.Location, period)
+		parent := monitor.MustNewWithSchema(spec.Parent.Goal, spec.Parent.Location, period, schema)
 		children := make([]*monitor.Monitor, 0, len(spec.Children))
 		for _, c := range spec.Children {
-			children = append(children, monitor.MustNew(c.Goal, c.Location, period))
+			children = append(children, monitor.MustNewWithSchema(c.Goal, c.Location, period, schema))
 		}
-		suite.Add(monitor.NewHierarchy(parent, matchTolerance, children...))
+		suite.Add(monitor.NewHierarchy(parent, tolerance, children...))
 	}
 	return suite
 }

@@ -212,6 +212,22 @@ type Options struct {
 	// of the observed goal-violation structure comes from the thesis'
 	// documented defects rather than from the monitoring approach.
 	CorrectDefects bool
+
+	// MatchTolerance overrides the hit-matching window, in states, used
+	// when deciding whether a subgoal violation corresponds to a system
+	// goal violation (0 uses the default of 150).  Sweeping it shows how
+	// sensitive the hit / false-negative / false-positive classification is
+	// to the assumed observation and actuation delays between hierarchy
+	// levels.
+	MatchTolerance int
+}
+
+// tolerance resolves the effective hit-matching window.
+func (o Options) tolerance() int {
+	if o.MatchTolerance > 0 {
+		return o.MatchTolerance
+	}
+	return matchTolerance
 }
 
 // Label returns a short, stable identifier covering every Options field, used
@@ -223,6 +239,8 @@ func (o Options) Label() string {
 	var b strings.Builder
 	b.WriteString("corrected=")
 	b.WriteString(strconv.FormatBool(o.CorrectDefects))
+	b.WriteString(",tol=")
+	b.WriteString(strconv.Itoa(o.MatchTolerance))
 	return b.String()
 }
 
@@ -239,12 +257,12 @@ func RunWithOptions(sc Scenario, opts Options) Result {
 	return runJob(sc, opts, KeepTrace)
 }
 
-// runJob executes one scenario under the given trace-retention policy.  It is
-// the single execution path shared by RunWithOptions and the streaming
-// Engine; under SummaryOnly the simulation records no trace at all (the
-// monitors observe the live bus state), so a run allocates O(1) retained
-// state instead of O(steps).
-func runJob(sc Scenario, opts Options, retention Retention) Result {
+// NewSimulation builds the simulation for one scenario: the initialised bus
+// (which interns the full signal vocabulary into the run's schema) and the
+// component set with the configured defects, sharing one resolved handle
+// table.  It is the setup half of runJob, exposed for callers that attach
+// their own observers — the differential tests and the substrate benchmarks.
+func NewSimulation(sc Scenario, opts Options) *sim.Simulation {
 	s := sim.New(Period)
 	bus := s.Bus
 	bus.InitNumber(vehicle.SigPeriodSeconds, Period.Seconds())
@@ -296,7 +314,7 @@ func runJob(sc Scenario, opts Options, retention Retention) Result {
 		arbiter.OverrideCheckDelay = 0
 	}
 
-	s.Add(
+	components := []sim.Component{
 		driver,
 		&vehicle.Object{InitialDistance: sc.ObjectDistance, Speed: sc.ObjectSpeed},
 		ca,
@@ -306,11 +324,28 @@ func runJob(sc Scenario, opts Options, retention Retention) Result {
 		pa,
 		arbiter,
 		&vehicle.Dynamics{InitialSpeed: sc.InitialSpeed},
-	)
+	}
+	// One shared handle table for the whole run instead of one per component.
+	vehicle.BindAll(bus, components...)
+	s.Add(components...)
+	return s
+}
 
-	suite := BuildSuite(Period)
+// runJob executes one scenario under the given trace-retention policy.  It is
+// the single execution path shared by RunWithOptions and the streaming
+// Engine; under SummaryOnly the simulation records no trace at all (the
+// monitors observe the live bus state), so a run allocates O(1) retained
+// state instead of O(steps).  The monitor suite is compiled against the
+// run's schema, so every goal atom reads its register slot directly.
+func runJob(sc Scenario, opts Options, retention Retention) Result {
+	s := NewSimulation(sc, opts)
+
+	suite := buildSuite(Period, s.Bus.Schema(), opts.tolerance())
 	s.OnStep(func(_ time.Duration, st temporal.State) { suite.Observe(st) })
-	s.StopWhen(func(_ time.Duration, st temporal.State) bool { return st.Bool(vehicle.SigCollision) })
+	collision := s.Bus.Schema().Intern(vehicle.SigCollision)
+	s.StopWhen(func(_ time.Duration, st temporal.State) bool {
+		return st.Slot(collision).AsBool()
+	})
 
 	// Normalize the default duration into the scenario recorded on the
 	// Result, so Result.TerminatedEarly compares the executed steps against

@@ -32,6 +32,13 @@ type Family struct {
 	// OptionSets enumerates run options (e.g. seeded defects in place
 	// versus the corrected ablation).
 	OptionSets []Options
+	// Tolerances enumerates hit-matching windows in states (see
+	// Options.MatchTolerance; 0 selects the default of 150).  The axis
+	// cross-products with OptionSets, overriding each option set's
+	// MatchTolerance, so one sweep can measure how the hit /
+	// false-negative / false-positive classification shifts with the
+	// assumed inter-level observation and actuation delays.
+	Tolerances []int
 }
 
 // Size returns the number of variants the family generates.
@@ -39,7 +46,7 @@ func (f Family) Size() int {
 	n := 1
 	for _, axis := range []int{
 		len(f.InitialSpeeds), len(f.ObjectDistances), len(f.ObjectSpeeds),
-		len(f.Gears), len(f.OptionSets),
+		len(f.Gears), len(f.OptionSets), len(f.Tolerances),
 	} {
 		if axis > 0 {
 			n *= axis
@@ -50,7 +57,7 @@ func (f Family) Size() int {
 
 // axes resolves every axis to its effective values, substituting the base
 // value for empty axes.
-func (f Family) axes() (speeds, distances, objSpeeds []float64, gears []string, optionSets []Options) {
+func (f Family) axes() (speeds, distances, objSpeeds []float64, gears []string, optionSets []Options, tolerances []int) {
 	speeds = f.InitialSpeeds
 	if len(speeds) == 0 {
 		speeds = []float64{f.Base.InitialSpeed}
@@ -71,7 +78,11 @@ func (f Family) axes() (speeds, distances, objSpeeds []float64, gears []string, 
 	if len(optionSets) == 0 {
 		optionSets = []Options{{}}
 	}
-	return speeds, distances, objSpeeds, gears, optionSets
+	tolerances = f.Tolerances
+	if len(tolerances) == 0 {
+		tolerances = []int{0}
+	}
+	return speeds, distances, objSpeeds, gears, optionSets, tolerances
 }
 
 // variantName builds the variant identifier for one parameter assignment.
@@ -95,8 +106,13 @@ func variantName(base string, speed, dist, objSpeed float64, gear string, opts O
 	return b.String()
 }
 
-// variantAt materializes the variant for one axis-index assignment.
-func (f Family) variantAt(speed, dist, objSpeed float64, gear string, opts Options) Job {
+// variantAt materializes the variant for one axis-index assignment.  A
+// positive tolerance overrides the option set's MatchTolerance; zero (the
+// placeholder of an empty Tolerances axis) keeps it.
+func (f Family) variantAt(speed, dist, objSpeed float64, gear string, opts Options, tol int) Job {
+	if tol > 0 {
+		opts.MatchTolerance = tol
+	}
 	sc := f.Base
 	sc.InitialSpeed = speed
 	sc.ObjectDistance = dist
@@ -128,11 +144,11 @@ func (f Family) Variants() []Job {
 // built on demand — an odometer over the axis indices — so a sweep of any
 // size holds O(1) jobs in memory.
 func (f Family) Source() JobSource {
-	speeds, distances, objSpeeds, gears, optionSets := f.axes()
+	speeds, distances, objSpeeds, gears, optionSets, tolerances := f.axes()
 	// idx is the odometer, least-significant axis last (matching the
 	// nesting order of the original expansion loop).
-	var idx [5]int
-	dims := [5]int{len(speeds), len(distances), len(objSpeeds), len(gears), len(optionSets)}
+	var idx [6]int
+	dims := [6]int{len(speeds), len(distances), len(objSpeeds), len(gears), len(optionSets), len(tolerances)}
 	done := false
 	return SourceFunc(func() (Job, bool) {
 		if done {
@@ -140,7 +156,7 @@ func (f Family) Source() JobSource {
 		}
 		j := f.variantAt(
 			speeds[idx[0]], distances[idx[1]], objSpeeds[idx[2]],
-			gears[idx[3]], optionSets[idx[4]],
+			gears[idx[3]], optionSets[idx[4]], tolerances[idx[5]],
 		)
 		for axis := len(idx) - 1; ; axis-- {
 			idx[axis]++
@@ -315,8 +331,27 @@ func setsGearAtStart(sc Scenario) bool {
 	return false
 }
 
+// ToleranceSweep varies the hit-matching window across the ten thesis
+// scenarios: the seeded-defect configuration evaluated at a tight (50
+// states), the default (150) and a loose (450) matching tolerance — 30
+// variants probing how sensitive the hit / false-negative / false-positive
+// classification is to the assumed observation and actuation delays between
+// hierarchy levels.
+func ToleranceSweep() Sweep {
+	bases := Scenarios()
+	families := make([]Family, 0, len(bases))
+	for _, base := range bases {
+		families = append(families, Family{
+			Base:       base,
+			Tolerances: []int{50, matchTolerance, 450},
+		})
+	}
+	return Sweep{Families: families}
+}
+
 // SweepBySize returns the named sweep preset: "default" (120 variants),
-// "wide" (360) or "huge" (1296).
+// "wide" (360), "huge" (1296) or "tolerance" (30, varying the hit-matching
+// window).
 func SweepBySize(name string) (Sweep, error) {
 	switch name {
 	case "", "default":
@@ -325,7 +360,9 @@ func SweepBySize(name string) (Sweep, error) {
 		return WideSweep(), nil
 	case "huge":
 		return HugeSweep(), nil
+	case "tolerance":
+		return ToleranceSweep(), nil
 	default:
-		return Sweep{}, fmt.Errorf("unknown sweep size %q (want default, wide or huge)", name)
+		return Sweep{}, fmt.Errorf("unknown sweep size %q (want default, wide, huge or tolerance)", name)
 	}
 }

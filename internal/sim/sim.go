@@ -31,15 +31,33 @@ type Component interface {
 // Bus is the shared-variable / network abstraction between components.
 // Reads observe the values committed at the end of the previous step; writes
 // are buffered and become visible after the current step commits.
+//
+// The bus owns the run's temporal.Schema: every signal name is interned to a
+// dense slot index once, and the double-buffered current/pending states are
+// register files over that schema.  Hot components resolve their signals to
+// typed handles (NumVar/BoolVar/StringVar) up front and read/write by slot;
+// the name-keyed Read*/Write* methods remain as the schema-resolving
+// compatibility path.
 type Bus struct {
+	schema  *temporal.Schema
 	current temporal.State
 	pending temporal.State
 }
 
-// NewBus returns an empty bus.
+// NewBus returns an empty bus with a fresh schema.
 func NewBus() *Bus {
-	return &Bus{current: temporal.NewState(), pending: temporal.NewState()}
+	schema := temporal.NewSchema()
+	return &Bus{
+		schema:  schema,
+		current: temporal.NewStateWith(schema),
+		pending: temporal.NewStateWith(schema),
+	}
 }
+
+// Schema returns the bus' symbol table, shared by every state snapshot of
+// the run.  Monitors compiled against it resolve their atoms at compile
+// time (temporal.CompileWithSchema).
+func (b *Bus) Schema() *temporal.Schema { return b.schema }
 
 // Read returns the visible value of a signal (invalid Value when absent).
 func (b *Bus) Read(name string) temporal.Value { return b.current.Get(name) }
@@ -84,16 +102,72 @@ func (b *Bus) InitBool(name string, v bool) { b.Init(name, temporal.Bool(v)) }
 // InitString initialises a string signal.
 func (b *Bus) InitString(name, s string) { b.Init(name, temporal.String(s)) }
 
-// commit makes all buffered writes visible.  Signals that were not written
-// this step keep their previous value (hold semantics).
-func (b *Bus) commit() {
-	for k, v := range b.pending {
-		b.current.Set(k, v)
-	}
-}
+// Commit makes all buffered writes visible: a register-file copy of the
+// pending buffer over the current one.  Signals that were not written this
+// step keep their previous value (hold semantics: once initialised or
+// written, a signal's last value persists in the pending buffer).  The
+// simulation kernel commits after each step; external drivers stepping
+// components by hand call it directly.
+func (b *Bus) Commit() { b.current.CopyFrom(b.pending) }
 
 // Snapshot returns an independent copy of the visible state.
 func (b *Bus) Snapshot() temporal.State { return b.current.Clone() }
+
+// NumVar is a slot-indexed handle to a numeric bus signal: Read observes the
+// committed value (NaN when absent) and Write buffers the next value, with
+// no per-access name resolution.
+type NumVar struct {
+	read  temporal.State
+	write temporal.State
+	slot  int
+}
+
+// NumVar resolves a numeric signal to a typed handle, interning the name.
+func (b *Bus) NumVar(name string) NumVar {
+	return NumVar{read: b.current, write: b.pending, slot: b.schema.Intern(name)}
+}
+
+// Read returns the visible value of the signal (NaN when absent).
+func (v NumVar) Read() float64 { return v.read.Slot(v.slot).AsNumber() }
+
+// Write buffers a new value; it becomes visible after the next commit.
+func (v NumVar) Write(f float64) { v.write.SetSlot(v.slot, temporal.Number(f)) }
+
+// BoolVar is a slot-indexed handle to a boolean bus signal.
+type BoolVar struct {
+	read  temporal.State
+	write temporal.State
+	slot  int
+}
+
+// BoolVar resolves a boolean signal to a typed handle, interning the name.
+func (b *Bus) BoolVar(name string) BoolVar {
+	return BoolVar{read: b.current, write: b.pending, slot: b.schema.Intern(name)}
+}
+
+// Read returns the visible value of the signal (false when absent).
+func (v BoolVar) Read() bool { return v.read.Slot(v.slot).AsBool() }
+
+// Write buffers a new value; it becomes visible after the next commit.
+func (v BoolVar) Write(x bool) { v.write.SetSlot(v.slot, temporal.Bool(x)) }
+
+// StringVar is a slot-indexed handle to a string (enumeration) bus signal.
+type StringVar struct {
+	read  temporal.State
+	write temporal.State
+	slot  int
+}
+
+// StringVar resolves a string signal to a typed handle, interning the name.
+func (b *Bus) StringVar(name string) StringVar {
+	return StringVar{read: b.current, write: b.pending, slot: b.schema.Intern(name)}
+}
+
+// Read returns the visible value of the signal ("" when absent).
+func (v StringVar) Read() string { return v.read.Slot(v.slot).AsString() }
+
+// Write buffers a new value; it becomes visible after the next commit.
+func (v StringVar) Write(s string) { v.write.SetSlot(v.slot, temporal.String(s)) }
 
 // StepFunc adapts a plain function into a Component.
 type StepFunc struct {
@@ -183,7 +257,7 @@ func (s *Simulation) run(d time.Duration, retain bool) (*temporal.Trace, int, te
 		for _, c := range s.components {
 			c.Step(now, s.Bus)
 		}
-		s.Bus.commit()
+		s.Bus.Commit()
 		snapshot := s.Bus.current
 		if retain {
 			snapshot = s.Bus.Snapshot()

@@ -13,7 +13,7 @@ func TestBusOneStepDelay(t *testing.T) {
 	if b.Has("x") {
 		t.Error("written value must not be visible before commit")
 	}
-	b.commit()
+	b.Commit()
 	if got := b.ReadNumber("x"); got != 5 {
 		t.Errorf("after commit, x = %v", got)
 	}
@@ -22,9 +22,9 @@ func TestBusOneStepDelay(t *testing.T) {
 func TestBusHoldSemantics(t *testing.T) {
 	b := NewBus()
 	b.InitNumber("x", 1)
-	b.commit()
+	b.Commit()
 	// No write this step: the value holds.
-	b.commit()
+	b.Commit()
 	if got := b.ReadNumber("x"); got != 1 {
 		t.Errorf("x should hold its value, got %v", got)
 	}
@@ -46,7 +46,7 @@ func TestBusTypedAccessors(t *testing.T) {
 	b.WriteBool("flag", true)
 	b.WriteString("mode", "GO")
 	b.Write("v", temporal.Number(3))
-	b.commit()
+	b.Commit()
 	if !b.ReadBool("flag") || b.ReadString("mode") != "GO" || b.Read("v").AsNumber() != 3 {
 		t.Error("typed accessors round-trip failed")
 	}
@@ -60,7 +60,7 @@ func TestBusSnapshotIsIndependent(t *testing.T) {
 	b.InitNumber("x", 1)
 	snap := b.Snapshot()
 	b.WriteNumber("x", 2)
-	b.commit()
+	b.Commit()
 	if snap.Number("x") != 1 {
 		t.Error("snapshot must not alias the live bus state")
 	}
@@ -211,7 +211,7 @@ func TestRunDiscardStopAndLastIndependence(t *testing.T) {
 		t.Fatalf("early stop should halt after 5 steps, got %d", steps)
 	}
 	s.Bus.WriteNumber("count", 99)
-	s.Bus.commit()
+	s.Bus.Commit()
 	if last.Number("count") != 5 {
 		t.Error("RunDiscard's final state must not alias the live bus state")
 	}

@@ -1,0 +1,77 @@
+package temporal
+
+import "sort"
+
+// Schema is an interned symbol table mapping state-variable names to dense
+// slot indices.  A Schema is created once per scenario (the sim.Bus owns one
+// per run) and shared by every State of that run: the bus' double buffers,
+// every trace snapshot and every compiled Stepper resolve variable names to
+// slots against it, so the per-step hot path never hashes a string.
+//
+// Kopetz's system-of-systems argument (PAPERS.md) is that constituent systems
+// must interact through small, well-specified shared interfaces; the Schema is
+// exactly that interface made explicit — the fixed variable vocabulary the
+// composite system's components and monitors agree on.
+//
+// A Schema is not safe for concurrent mutation; scenario runs are isolated
+// per goroutine (one schema per run), which is what keeps parameter sweeps
+// race-clean.
+type Schema struct {
+	index map[string]int
+	names []string
+
+	// sorted caches the slot indices in name-sorted order for State.Names
+	// and State.String; it is invalidated by Intern and rebuilt on demand,
+	// so renders never re-sort an unchanged vocabulary.
+	sorted []int
+}
+
+// NewSchema returns an empty symbol table.
+func NewSchema() *Schema {
+	return &Schema{index: make(map[string]int)}
+}
+
+// Intern returns the slot index of name, assigning the next free slot when
+// the name has not been seen before.
+func (sc *Schema) Intern(name string) int {
+	if i, ok := sc.index[name]; ok {
+		return i
+	}
+	i := len(sc.names)
+	sc.index[name] = i
+	sc.names = append(sc.names, name)
+	sc.sorted = nil
+	return i
+}
+
+// Lookup returns the slot index of name, without interning it.
+func (sc *Schema) Lookup(name string) (int, bool) {
+	i, ok := sc.index[name]
+	return i, ok
+}
+
+// Len returns the number of interned names (the register-file width).
+func (sc *Schema) Len() int { return len(sc.names) }
+
+// Name returns the name interned at slot i.
+func (sc *Schema) Name(i int) string { return sc.names[i] }
+
+// Names returns a copy of the interned names in slot order.
+func (sc *Schema) Names() []string {
+	return append([]string(nil), sc.names...)
+}
+
+// sortedSlots returns the slot indices ordered by variable name.  The order
+// is computed once per vocabulary change, not once per call.
+func (sc *Schema) sortedSlots() []int {
+	if sc.sorted == nil && len(sc.names) > 0 {
+		sc.sorted = make([]int, len(sc.names))
+		for i := range sc.sorted {
+			sc.sorted[i] = i
+		}
+		sort.Slice(sc.sorted, func(a, b int) bool {
+			return sc.names[sc.sorted[a]] < sc.names[sc.sorted[b]]
+		})
+	}
+	return sc.sorted
+}

@@ -1,81 +1,193 @@
 package temporal
 
 import (
-	"fmt"
-	"sort"
+	"math"
 	"strings"
 	"time"
 )
 
-// State is a snapshot of all system state variables at one instant.  The
-// thesis models the composite system as a set of named state variables whose
-// values change from state to state; each simulation step produces one State.
-type State map[string]Value
-
-// NewState returns an empty state snapshot.
-func NewState() State { return make(State) }
-
-// Clone returns an independent copy of the state.
-func (s State) Clone() State {
-	c := make(State, len(s))
-	for k, v := range s {
-		c[k] = v
-	}
-	return c
+// Registers is the slot-indexed register file backing a State: a dense
+// []Value indexed by the slots of a Schema.  The thesis models the composite
+// system as a set of named state variables whose values change from state to
+// state; representing a snapshot as a register file instead of a
+// map[string]Value makes copying a state a slice copy and reading a resolved
+// variable an array load, which removes string hashing from the simulation
+// and monitoring hot path entirely.
+type Registers struct {
+	schema *Schema
+	slots  []Value
 }
 
-// Get returns the value of a variable.  Missing variables return an invalid
-// Value, which evaluates as false / NaN, matching the thesis' convention that
-// unknown state cannot be used to demonstrate goal satisfaction.
-func (s State) Get(name string) Value { return s[name] }
+// State is a snapshot of all system state variables at one instant.  Each
+// simulation step produces one State.  State is a reference type (a pointer
+// to a slot-indexed register file): copies share the same registers, Set
+// mutates in place, and the nil State is the absent snapshot (e.g. the last
+// state of an empty trace).
+//
+// The name-keyed API (Get/Set/Bool/Number/...) resolves names through the
+// state's Schema and remains the compatibility path; hot paths resolve a
+// name to a slot once and use Slot/SetSlot.
+type State = *Registers
+
+// NewState returns an empty state snapshot with its own private Schema.
+// States that participate in one scenario should share the scenario's schema
+// via NewStateWith so that compiled monitors resolve their atoms once.
+func NewState() State { return NewStateWith(nil) }
+
+// NewStateWith returns an empty state backed by the given Schema (a fresh
+// one when nil).  The state's register file is sized to the schema and grows
+// as the schema interns further names.
+func NewStateWith(schema *Schema) State {
+	if schema == nil {
+		schema = NewSchema()
+	}
+	return &Registers{schema: schema, slots: make([]Value, schema.Len())}
+}
+
+// Schema returns the symbol table this state resolves names against (nil
+// for the nil State).
+func (s *Registers) Schema() *Schema {
+	if s == nil {
+		return nil
+	}
+	return s.schema
+}
+
+// Clone returns an independent copy of the state sharing the same Schema.
+// Cloning the nil State yields a fresh empty state, as cloning the nil
+// map-backed state did.
+func (s *Registers) Clone() State {
+	if s == nil {
+		return NewState()
+	}
+	c := make([]Value, len(s.slots))
+	copy(c, s.slots)
+	return &Registers{schema: s.schema, slots: c}
+}
+
+// CopyFrom overwrites this state's registers with src's: a register-file
+// copy, every slot of src included.  Both states must share the same Schema.
+// It is what makes a bus commit a slice copy instead of a map merge; slots
+// beyond src's written range keep their previous value.
+func (s *Registers) CopyFrom(src State) {
+	if src == nil {
+		return
+	}
+	n := len(src.slots)
+	if len(s.slots) < n {
+		if cap(s.slots) < n {
+			grown := make([]Value, n)
+			copy(grown, s.slots)
+			s.slots = grown
+		} else {
+			s.slots = s.slots[:n]
+		}
+	}
+	copy(s.slots, src.slots)
+}
+
+// Slot returns the value stored at slot i, resolving out-of-range slots (a
+// schema that grew after this state was sized) and the nil State to the
+// invalid Value.
+func (s *Registers) Slot(i int) Value {
+	if s == nil || i < 0 || i >= len(s.slots) {
+		return Value{}
+	}
+	return s.slots[i]
+}
+
+// SetSlot stores a value at slot i, growing the register file to the schema
+// width when the schema has interned names since the state was sized.
+func (s *Registers) SetSlot(i int, v Value) {
+	if i >= len(s.slots) {
+		if n := s.schema.Len(); n > len(s.slots) {
+			grown := make([]Value, n)
+			copy(grown, s.slots)
+			s.slots = grown
+		}
+	}
+	s.slots[i] = v
+}
+
+// Get returns the value of a variable.  Missing variables — and every
+// variable of the nil State — return an invalid Value, which evaluates as
+// false / NaN, matching the thesis' convention that unknown state cannot be
+// used to demonstrate goal satisfaction.
+func (s *Registers) Get(name string) Value {
+	if s == nil {
+		return Value{}
+	}
+	if i, ok := s.schema.Lookup(name); ok {
+		return s.Slot(i)
+	}
+	return Value{}
+}
 
 // Has reports whether the variable has a value in this state.
-func (s State) Has(name string) bool {
-	_, ok := s[name]
-	return ok
-}
+func (s *Registers) Has(name string) bool { return s.Get(name).IsValid() }
 
 // Set stores a value for a variable and returns the state for chaining.
-func (s State) Set(name string, v Value) State {
-	s[name] = v
+func (s *Registers) Set(name string, v Value) State {
+	s.SetSlot(s.schema.Intern(name), v)
 	return s
 }
 
 // SetBool stores a boolean variable.
-func (s State) SetBool(name string, b bool) State { return s.Set(name, Bool(b)) }
+func (s *Registers) SetBool(name string, b bool) State { return s.Set(name, Bool(b)) }
 
 // SetNumber stores a numeric variable.
-func (s State) SetNumber(name string, f float64) State { return s.Set(name, Number(f)) }
+func (s *Registers) SetNumber(name string, f float64) State { return s.Set(name, Number(f)) }
 
 // SetString stores a string variable.
-func (s State) SetString(name string, str string) State { return s.Set(name, String(str)) }
+func (s *Registers) SetString(name string, str string) State { return s.Set(name, String(str)) }
 
 // Bool reads a boolean variable (false when absent).
-func (s State) Bool(name string) bool { return s.Get(name).AsBool() }
+func (s *Registers) Bool(name string) bool { return s.Get(name).AsBool() }
 
 // Number reads a numeric variable (NaN when absent).
-func (s State) Number(name string) float64 { return s.Get(name).AsNumber() }
+func (s *Registers) Number(name string) float64 { return s.Get(name).AsNumber() }
 
 // StringVal reads a string variable ("" when absent).
-func (s State) StringVal(name string) string { return s.Get(name).AsString() }
+func (s *Registers) StringVal(name string) string { return s.Get(name).AsString() }
 
-// Names returns the sorted variable names present in the state.
-func (s State) Names() []string {
-	names := make([]string, 0, len(s))
-	for k := range s {
-		names = append(names, k)
+// Names returns the sorted variable names present in the state.  The order
+// is derived from the schema's cached name ordering, so repeated renders do
+// not re-sort.
+func (s *Registers) Names() []string {
+	if s == nil {
+		return nil
 	}
-	sort.Strings(names)
+	names := make([]string, 0, len(s.slots))
+	for _, i := range s.schema.sortedSlots() {
+		if i < len(s.slots) && s.slots[i].IsValid() {
+			names = append(names, s.schema.Name(i))
+		}
+	}
 	return names
 }
 
 // String renders the state as "var=value" pairs in sorted order.
-func (s State) String() string {
-	parts := make([]string, 0, len(s))
-	for _, n := range s.Names() {
-		parts = append(parts, fmt.Sprintf("%s=%s", n, s[n]))
+func (s *Registers) String() string {
+	if s == nil {
+		return "{}"
 	}
-	return "{" + strings.Join(parts, ", ") + "}"
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, i := range s.schema.sortedSlots() {
+		if i >= len(s.slots) || !s.slots[i].IsValid() {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(s.schema.Name(i))
+		b.WriteByte('=')
+		b.WriteString(s.slots[i].String())
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // Trace is a finite, fixed-period sequence of states.  Index 0 is the
@@ -166,11 +278,29 @@ func (t *Trace) Slice(from, to int) *Trace {
 }
 
 // Series extracts the numeric time series of one variable, useful for
-// regenerating the thesis' scenario figures.
+// regenerating the thesis' scenario figures.  The name is resolved to a slot
+// once per schema, so extraction over a single-run trace never re-hashes it.
 func (t *Trace) Series(name string) []float64 {
 	out := make([]float64, len(t.states))
+	var (
+		schema *Schema
+		slot   int
+		ok     bool
+	)
 	for i, s := range t.states {
-		out[i] = s.Number(name)
+		if sc := s.Schema(); sc != schema {
+			schema = sc
+			if sc != nil {
+				slot, ok = sc.Lookup(name)
+			} else { // a nil State in the trace: every variable is absent
+				ok = false
+			}
+		}
+		if ok {
+			out[i] = s.Slot(slot).AsNumber()
+		} else {
+			out[i] = math.NaN()
+		}
 	}
 	return out
 }
@@ -178,8 +308,21 @@ func (t *Trace) Series(name string) []float64 {
 // BoolSeries extracts the boolean time series of one variable.
 func (t *Trace) BoolSeries(name string) []bool {
 	out := make([]bool, len(t.states))
+	var (
+		schema *Schema
+		slot   int
+		ok     bool
+	)
 	for i, s := range t.states {
-		out[i] = s.Bool(name)
+		if sc := s.Schema(); sc != schema {
+			schema = sc
+			if sc != nil {
+				slot, ok = sc.Lookup(name)
+			} else {
+				ok = false
+			}
+		}
+		out[i] = ok && s.Slot(slot).AsBool()
 	}
 	return out
 }

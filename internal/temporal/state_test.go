@@ -137,3 +137,53 @@ func TestTraceSeries(t *testing.T) {
 		t.Errorf("BoolSeries = %v", got)
 	}
 }
+
+// TestNilStateReads locks the nil-State contract: nil is the absent snapshot
+// (e.g. the last state of an empty trace) and every read treats it as a
+// state with no variables, as the map-backed representation did.
+func TestNilStateReads(t *testing.T) {
+	var s State
+	if s.Get("x").IsValid() {
+		t.Error("nil state Get should be invalid")
+	}
+	if s.Has("x") {
+		t.Error("nil state Has should be false")
+	}
+	if s.Bool("x") {
+		t.Error("nil state Bool should be false")
+	}
+	if n := s.Number("x"); n == n { // NaN
+		t.Errorf("nil state Number = %v, want NaN", n)
+	}
+	if got := s.StringVal("x"); got != "" {
+		t.Errorf("nil state StringVal = %q, want empty", got)
+	}
+	if s.Slot(0).IsValid() {
+		t.Error("nil state Slot should be invalid")
+	}
+	if s.Schema() != nil {
+		t.Error("nil state Schema should be nil")
+	}
+	if names := s.Names(); names != nil {
+		t.Errorf("nil state Names = %v, want nil", names)
+	}
+	if got := s.String(); got != "{}" {
+		t.Errorf("nil state String = %q, want {}", got)
+	}
+	if c := s.Clone(); c == nil || c.Has("x") {
+		t.Error("cloning the nil state should yield a fresh empty state")
+	}
+
+	// A stepper observing the nil state treats every atom as absent.
+	st := MustCompile(MustParse("x > 1 | flag"), 0)
+	if st.Step(nil) {
+		t.Error("slot stepper over the nil state should be false")
+	}
+	ref, err := CompileReference(MustParse("x > 1 | flag"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Step(nil) {
+		t.Error("reference stepper over the nil state should be false")
+	}
+}

@@ -11,9 +11,16 @@ import (
 // are built on Steppers so that monitoring cost is constant per state, which
 // is what makes the thesis' hierarchical monitoring practical in an embedded
 // setting.
+//
+// Atom formulas (variables, comparisons, predicates) are compiled to
+// slot-indexed nodes: the variable name is resolved against the observed
+// state's Schema once — at compile time when CompileWithSchema is given the
+// scenario's schema, otherwise on the first step — and every subsequent step
+// is an array load, never a string hash.
 type Stepper struct {
 	root    stepNode
-	current *Trace // single reusable state used to evaluate atoms
+	state   State  // the state being evaluated this step
+	scratch *Trace // single reusable state for generic (reference) atoms
 	steps   int
 }
 
@@ -22,21 +29,49 @@ type Stepper struct {
 // operators' durations into step counts; a zero period defaults to 1 ms.
 // Compile returns an error when the formula contains future-time operators,
 // which cannot be monitored incrementally.
+//
+// Atoms resolve their slot indices lazily against the schema of the first
+// observed state; monitors that know their scenario's schema up front should
+// use CompileWithSchema, which resolves them at compile time.
 func Compile(f Formula, period time.Duration) (*Stepper, error) {
+	return CompileWithSchema(f, period, nil)
+}
+
+// CompileWithSchema is Compile with the scenario's symbol table: every atom
+// is resolved to its slot index at compile time (interning names the schema
+// has not seen), so even the first step of the monitor is hash-free.
+func CompileWithSchema(f Formula, period time.Duration, schema *Schema) (*Stepper, error) {
+	return compileStepper(f, period, schema, false)
+}
+
+// CompileReference builds a Stepper whose atoms are evaluated through the
+// generic Formula.Eval string-keyed path on every step — the behaviour of
+// the map-backed State representation.  It exists as the reference
+// implementation the differential tests compare the slot-indexed compiler
+// against; hot paths should use Compile or CompileWithSchema.
+func CompileReference(f Formula, period time.Duration) (*Stepper, error) {
+	return compileStepper(f, period, nil, true)
+}
+
+func compileStepper(f Formula, period time.Duration, schema *Schema, reference bool) (*Stepper, error) {
 	if period <= 0 {
 		period = time.Millisecond
 	}
 	if !IsPastTime(f) {
 		return nil, fmt.Errorf("temporal: formula %q contains future-time operators and cannot be compiled to a run-time monitor", f)
 	}
-	scratch := NewTrace(period)
-	scratch.Append(NewState())
-	s := &Stepper{current: scratch}
-	root, err := s.compile(f, period)
+	c := &compiler{period: period, schema: schema, reference: reference}
+	root, err := c.compile(f)
 	if err != nil {
 		return nil, err
 	}
-	s.root = root
+	s := &Stepper{root: root}
+	if reference {
+		// Only reference-mode atoms evaluate through Formula.Eval and need
+		// the one-state scratch trace; slot-mode steppers never touch it.
+		s.scratch = NewTrace(period)
+		s.scratch.Append(NewState())
+	}
 	return s, nil
 }
 
@@ -52,7 +87,10 @@ func MustCompile(f Formula, period time.Duration) *Stepper {
 
 // Step feeds the next state and reports whether the formula holds at it.
 func (s *Stepper) Step(st State) bool {
-	s.current.states[0] = st
+	s.state = st
+	if s.scratch != nil {
+		s.scratch.states[0] = st
+	}
 	r := s.root.step(s)
 	s.steps++
 	return r
@@ -74,105 +112,145 @@ type stepNode interface {
 	reset()
 }
 
-func (s *Stepper) compile(f Formula, period time.Duration) (stepNode, error) {
+// compiler lowers a Formula tree into stepNodes.  When schema is non-nil
+// atoms are resolved to slot indices here, at compile time; when reference is
+// set atoms are lowered to the generic Formula.Eval path instead.
+type compiler struct {
+	period    time.Duration
+	schema    *Schema
+	reference bool
+}
+
+func (c *compiler) compile(f Formula) (stepNode, error) {
 	switch ff := f.(type) {
 	case constFormula, varFormula, compareFormula, compareVarsFormula, predFormula:
-		return &atomNode{f: f}, nil
+		return c.compileAtom(f)
 	case notFormula:
-		c, err := s.compile(ff.f, period)
+		n, err := c.compile(ff.f)
 		if err != nil {
 			return nil, err
 		}
-		return &notNode{c: c}, nil
+		return &notNode{c: n}, nil
 	case andFormula:
-		cs, err := s.compileAll(ff.fs, period)
+		cs, err := c.compileAll(ff.fs)
 		if err != nil {
 			return nil, err
 		}
 		return &andNode{cs: cs}, nil
 	case orFormula:
-		cs, err := s.compileAll(ff.fs, period)
+		cs, err := c.compileAll(ff.fs)
 		if err != nil {
 			return nil, err
 		}
 		return &orNode{cs: cs}, nil
 	case impliesFormula:
-		a, err := s.compile(ff.ant, period)
+		a, err := c.compile(ff.ant)
 		if err != nil {
 			return nil, err
 		}
-		b, err := s.compile(ff.con, period)
+		b, err := c.compile(ff.con)
 		if err != nil {
 			return nil, err
 		}
 		return &impliesNode{a: a, b: b}, nil
 	case iffFormula:
-		a, err := s.compile(ff.a, period)
+		a, err := c.compile(ff.a)
 		if err != nil {
 			return nil, err
 		}
-		b, err := s.compile(ff.b, period)
+		b, err := c.compile(ff.b)
 		if err != nil {
 			return nil, err
 		}
 		return &iffNode{a: a, b: b}, nil
 	case prevFormula:
-		c, err := s.compile(ff.f, period)
+		n, err := c.compile(ff.f)
 		if err != nil {
 			return nil, err
 		}
-		return &prevNode{c: c}, nil
+		return &prevNode{c: n}, nil
 	case onceFormula:
-		c, err := s.compile(ff.f, period)
+		n, err := c.compile(ff.f)
 		if err != nil {
 			return nil, err
 		}
-		return &onceNode{c: c}, nil
+		return &onceNode{c: n}, nil
 	case historicallyFormula:
-		c, err := s.compile(ff.f, period)
+		n, err := c.compile(ff.f)
 		if err != nil {
 			return nil, err
 		}
-		return &histNode{c: c, allPrev: true}, nil
+		return &histNode{c: n, allPrev: true}, nil
 	case becameFormula:
-		c, err := s.compile(ff.f, period)
+		n, err := c.compile(ff.f)
 		if err != nil {
 			return nil, err
 		}
-		return &becameNode{c: c}, nil
+		return &becameNode{c: n}, nil
 	case prevForFormula:
-		c, err := s.compile(ff.f, period)
+		n, err := c.compile(ff.f)
 		if err != nil {
 			return nil, err
 		}
-		return &prevForNode{c: c, n: stepsFor(ff.d, period)}, nil
+		return &prevForNode{c: n, n: stepsFor(ff.d, c.period)}, nil
 	case prevWithinFormula:
-		c, err := s.compile(ff.f, period)
+		n, err := c.compile(ff.f)
 		if err != nil {
 			return nil, err
 		}
-		return &prevWithinNode{c: c, n: stepsFor(ff.d, period), lastTrue: -1}, nil
+		return &prevWithinNode{c: n, n: stepsFor(ff.d, c.period), lastTrue: -1}, nil
 	case initiallyFormula:
-		c, err := s.compile(ff.f, period)
+		n, err := c.compile(ff.f)
 		if err != nil {
 			return nil, err
 		}
-		return &initiallyNode{c: c}, nil
+		return &initiallyNode{c: n}, nil
 	default:
 		return nil, fmt.Errorf("temporal: cannot compile formula node %T", f)
 	}
 }
 
-func (s *Stepper) compileAll(fs []Formula, period time.Duration) ([]stepNode, error) {
+// compileAtom lowers an atomic formula to a slot-indexed node (or to the
+// generic Eval node in reference mode).
+func (c *compiler) compileAtom(f Formula) (stepNode, error) {
+	if c.reference {
+		return &atomNode{f: f}, nil
+	}
+	switch ff := f.(type) {
+	case constFormula:
+		return constNode(bool(ff)), nil
+	case varFormula:
+		return &varNode{ref: c.slotRef(ff.name)}, nil
+	case compareFormula:
+		return &compareNode{ref: c.slotRef(ff.name), op: ff.op, val: ff.val}, nil
+	case compareVarsFormula:
+		return &compareVarsNode{left: c.slotRef(ff.left), op: ff.op, right: c.slotRef(ff.right)}, nil
+	case predFormula:
+		return &predNode{fn: ff.fn}, nil
+	default:
+		return nil, fmt.Errorf("temporal: cannot compile atom node %T", f)
+	}
+}
+
+func (c *compiler) compileAll(fs []Formula) ([]stepNode, error) {
 	out := make([]stepNode, len(fs))
 	for i, f := range fs {
-		c, err := s.compile(f, period)
+		n, err := c.compile(f)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = c
+		out[i] = n
 	}
 	return out, nil
+}
+
+func (c *compiler) slotRef(name string) slotRef {
+	r := slotRef{name: name}
+	if c.schema != nil {
+		r.schema = c.schema
+		r.slot = c.schema.Intern(name)
+	}
+	return r
 }
 
 func stepsFor(d, period time.Duration) int {
@@ -186,10 +264,79 @@ func stepsFor(d, period time.Duration) int {
 	return steps
 }
 
+// slotRef is a variable reference resolved to a register slot.  The slot is
+// bound to one Schema: when a state from a different schema is observed (the
+// Stepper was compiled without a schema, or is reused across scenarios) the
+// name is re-resolved once and cached, so steady-state evaluation is an
+// array load guarded by one pointer compare.
+type slotRef struct {
+	name   string
+	schema *Schema
+	slot   int
+}
+
+func (r *slotRef) value(st State) Value {
+	if sc := st.Schema(); sc != r.schema {
+		if sc == nil { // the nil State: every variable is absent
+			return Value{}
+		}
+		r.schema = sc
+		r.slot = sc.Intern(r.name)
+	}
+	return st.Slot(r.slot)
+}
+
+// atomNode evaluates an atom through the generic Formula.Eval string-keyed
+// path; it is the reference-mode lowering used by CompileReference.
 type atomNode struct{ f Formula }
 
-func (n *atomNode) step(s *Stepper) bool { return n.f.Eval(s.current, 0) }
+func (n *atomNode) step(s *Stepper) bool { return n.f.Eval(s.scratch, 0) }
 func (n *atomNode) reset()               {}
+
+type constNode bool
+
+func (n constNode) step(*Stepper) bool { return bool(n) }
+func (n constNode) reset()             {}
+
+type varNode struct{ ref slotRef }
+
+func (n *varNode) step(s *Stepper) bool { return n.ref.value(s.state).AsBool() }
+func (n *varNode) reset()               {}
+
+type compareNode struct {
+	ref slotRef
+	op  CompareOp
+	val Value
+}
+
+func (n *compareNode) step(s *Stepper) bool {
+	v := n.ref.value(s.state)
+	if !v.IsValid() {
+		return false
+	}
+	return compareValues(v, n.val, n.op)
+}
+func (n *compareNode) reset() {}
+
+type compareVarsNode struct {
+	left  slotRef
+	op    CompareOp
+	right slotRef
+}
+
+func (n *compareVarsNode) step(s *Stepper) bool {
+	lv, rv := n.left.value(s.state), n.right.value(s.state)
+	if !lv.IsValid() || !rv.IsValid() {
+		return false
+	}
+	return compareValues(lv, rv, n.op)
+}
+func (n *compareVarsNode) reset() {}
+
+type predNode struct{ fn func(State) bool }
+
+func (n *predNode) step(s *Stepper) bool { return n.fn(s.state) }
+func (n *predNode) reset()               {}
 
 type notNode struct{ c stepNode }
 

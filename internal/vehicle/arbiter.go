@@ -1,11 +1,31 @@
 package vehicle
 
 import (
-	"math"
 	"time"
 
 	"repro/internal/sim"
 )
+
+// Arbitration source sentinels: features are identified by index into
+// FeatureNames on the hot path; the driver and the absent source use
+// negative sentinels and are translated to their string tags only when the
+// source signal is published.
+const (
+	srcNone   = -1
+	srcDriver = -2
+)
+
+// sourceTag translates an arbitration source index to its string tag.
+func sourceTag(src int) string {
+	switch src {
+	case srcNone:
+		return SourceNone
+	case srcDriver:
+		return SourceDriver
+	default:
+		return FeatureNames[src]
+	}
+}
 
 // Arbiter selects the sources of the vehicle acceleration and steering
 // commands from the feature subsystem requests and the driver's inputs
@@ -40,9 +60,11 @@ type Arbiter struct {
 	OverrideCheckDelay time.Duration
 
 	prevCommand        float64
-	prevCandidate      string
+	prevCandidate      int
 	candidateChangedAt time.Duration
 	started            bool
+
+	binding
 }
 
 // NewArbiter returns an arbiter with all of the thesis' seeded defects
@@ -62,24 +84,31 @@ func (a *Arbiter) Name() string { return "Arbiter" }
 
 // Step implements sim.Component.
 func (a *Arbiter) Step(now time.Duration, bus *sim.Bus) {
-	dt := stepSeconds(bus)
-	reverse := bus.ReadString(SigGear) == "R"
+	v := a.on(bus)
+	if !a.started {
+		// The zero value of prevCandidate is a feature index; normalise it
+		// to "no source yet" so the first step registers a source change.
+		a.prevCandidate = srcNone
+	}
+	dt := v.stepSeconds()
+	reverse := v.gear.Read() == "R"
 
 	// ----- Stage 1: acceleration arbitration ---------------------------
-	driverRequest, driverRequesting := a.driverAccelRequest(bus, reverse)
+	driverRequest, driverRequesting := a.driverAccelRequest(v, reverse)
 
-	accelSource := SourceNone
+	accelSource := srcNone
 	accelRequest := 0.0
-	for _, f := range FeatureNames {
-		if bus.ReadBool(SigActive(f)) && bus.ReadBool(SigRequestingAccel(f)) {
-			accelSource = f
-			accelRequest = readNumber(bus, SigAccelRequest(f))
+	for i := range v.features {
+		fv := &v.features[i]
+		if fv.active.Read() && fv.requestingAccel.Read() {
+			accelSource = i
+			accelRequest = number(fv.accelRequest)
 			break
 		}
 	}
 
-	if accelSource == SourceNone && driverRequesting {
-		accelSource = SourceDriver
+	if accelSource == srcNone && driverRequesting {
+		accelSource = srcDriver
 		accelRequest = driverRequest
 	}
 
@@ -87,41 +116,40 @@ func (a *Arbiter) Step(now time.Duration, bus *sim.Bus) {
 	// override check is skipped for OverrideCheckDelay after a change,
 	// which lets a newly engaged feature briefly take control while the
 	// driver is still on a pedal (the Scenario 4 behaviour).
-	if accelSource != a.prevCandidate {
+	if accelSource != a.prevCandidate || !a.started {
 		a.candidateChangedAt = now
 		a.prevCandidate = accelSource
 	}
 
 	// Driver override (goals 5 and 6): a pedal application overrides a
 	// feature unless the feature is performing an emergency stop.
-	if accelSource != SourceNone && accelSource != SourceDriver && driverRequesting {
+	if accelSource >= 0 && driverRequesting {
 		softRequest := accelRequest > HardBrakeThreshold
 		if reverse {
 			softRequest = accelRequest < -HardBrakeThreshold
 		}
 		suppressed := a.OverrideCheckDelay > 0 && now-a.candidateChangedAt < a.OverrideCheckDelay
 		if softRequest && !suppressed {
-			accelSource = SourceDriver
+			accelSource = srcDriver
 			accelRequest = driverRequest
 		}
 	}
 
 	// Selected flags reflect the acceleration arbitration stage.
-	for _, f := range FeatureNames {
-		bus.WriteBool(SigSelected(f), f == accelSource)
+	for i := range v.features {
+		v.features[i].selected.Write(i == accelSource)
 	}
 
 	// ----- Stage 2: steering arbitration --------------------------------
-	steerSource := SourceNone
+	steerSource := srcNone
 	steerRequest := 0.0
-	if bus.ReadBool(SigSteeringActive) {
-		steerSource = SourceDriver
-		steerRequest = readNumber(bus, SigSteeringInput)
+	if v.steeringActive.Read() {
+		steerSource = srcDriver
+		steerRequest = number(v.steeringInput)
 	} else {
-		order := a.steeringOrder()
-		for _, f := range order {
-			if a.participatesInSteering(bus, f) {
-				steerSource = f
+		for _, i := range a.steeringOrder() {
+			if a.participatesInSteering(v, i) {
+				steerSource = i
 				// Defect: the steering command is not updated from the
 				// feature's request magnitude; it stays at zero.
 				steerRequest = 0
@@ -132,13 +160,13 @@ func (a *Arbiter) Step(now time.Duration, bus *sim.Bus) {
 
 	finalCommand := accelRequest
 	finalSource := accelSource
-	if a.SteeringStageOverridesAccel && steerSource != SourceNone && steerSource != SourceDriver {
+	if a.SteeringStageOverridesAccel && steerSource >= 0 {
 		// Defect: the steering stage passes along its own source's
 		// acceleration request as the final command, while the selected
 		// flags and the source tag still name the acceleration stage's
 		// choice.
-		finalCommand = readNumber(bus, SigAccelRequest(steerSource))
-		if steerSource == SourcePA && a.PACommandMismatch {
+		finalCommand = number(v.features[steerSource].accelRequest)
+		if steerSource == idxPA && a.PACommandMismatch {
 			finalCommand *= 0.5
 		}
 	}
@@ -150,40 +178,41 @@ func (a *Arbiter) Step(now time.Duration, bus *sim.Bus) {
 	a.prevCommand = finalCommand
 	a.started = true
 
-	fromSubsystem := finalSource != SourceDriver && finalSource != SourceNone
+	fromSubsystem := finalSource >= 0
 
 	// Acceleration/steering agreement (goal 3): any feature that requests
 	// both and is granted either must be granted both.
 	agreement := true
-	for _, f := range FeatureNames {
-		requestsBoth := bus.ReadBool(SigRequestingAccel(f)) && bus.ReadBool(SigRequestingSteer(f))
+	for i := range v.features {
+		fv := &v.features[i]
+		requestsBoth := fv.requestingAccel.Read() && fv.requestingSteer.Read()
 		if !requestsBoth {
 			continue
 		}
-		grantedAccel := accelSource == f
-		grantedSteer := steerSource == f
+		grantedAccel := accelSource == i
+		grantedSteer := steerSource == i
 		if (grantedAccel || grantedSteer) && !(grantedAccel && grantedSteer) {
 			agreement = false
 		}
 	}
 
-	bus.WriteNumber(SigAccelCommand, finalCommand)
-	bus.WriteString(SigAccelSource, finalSource)
-	bus.WriteBool(SigAccelFromSubsystem, fromSubsystem)
-	bus.WriteNumber(SigAccelCommandJerk, commandJerk)
-	bus.WriteNumber(SigSelectedRequestValue, accelRequest)
-	bus.WriteBool(SigSelectedSoftRequestFwd, fromSubsystem && accelRequest > HardBrakeThreshold)
-	bus.WriteBool(SigSelectedSoftRequestBwd, fromSubsystem && accelRequest < -HardBrakeThreshold)
-	bus.WriteNumber(SigSteerCommand, steerRequest)
-	bus.WriteString(SigSteerSource, steerSource)
-	bus.WriteBool(SigSteerFromSubsystem, steerSource != SourceDriver && steerSource != SourceNone)
-	bus.WriteBool(SigAccelSteeringAgreement, agreement)
+	v.accelCommand.Write(finalCommand)
+	v.accelSource.Write(sourceTag(finalSource))
+	v.accelFromSubsystem.Write(fromSubsystem)
+	v.accelCommandJerk.Write(commandJerk)
+	v.selectedRequestValue.Write(accelRequest)
+	v.selectedSoftFwd.Write(fromSubsystem && accelRequest > HardBrakeThreshold)
+	v.selectedSoftBwd.Write(fromSubsystem && accelRequest < -HardBrakeThreshold)
+	v.steerCommand.Write(steerRequest)
+	v.steerSource.Write(sourceTag(steerSource))
+	v.steerFromSubsystem.Write(steerSource >= 0)
+	v.agreement.Write(agreement)
 }
 
 // driverAccelRequest maps the pedals to a driver acceleration request.
-func (a *Arbiter) driverAccelRequest(bus *sim.Bus, reverse bool) (float64, bool) {
-	throttle := readNumber(bus, SigThrottleLevel)
-	brake := readNumber(bus, SigBrakeLevel)
+func (a *Arbiter) driverAccelRequest(v *busVars, reverse bool) (float64, bool) {
+	throttle := number(v.throttleLevel)
+	brake := number(v.brakeLevel)
 	switch {
 	case brake > 0.02:
 		if reverse {
@@ -200,46 +229,47 @@ func (a *Arbiter) driverAccelRequest(bus *sim.Bus, reverse bool) (float64, bool)
 	}
 }
 
-// steeringOrder returns the steering arbitration priority order, reversed
-// when the defect is enabled.
-func (a *Arbiter) steeringOrder() []string {
-	order := append([]string(nil), FeatureNames...)
-	if a.ReversedSteeringPriority {
-		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-			order[i], order[j] = order[j], order[i]
-		}
+// steeringPriority and reversedSteeringPriority are the feature-index orders
+// of the two arbitration stages, derived from numFeatures so they cannot
+// drift when a feature is added.
+var steeringPriority, reversedSteeringPriority = func() (fwd, rev [numFeatures]int) {
+	for i := 0; i < numFeatures; i++ {
+		fwd[i] = i
+		rev[i] = numFeatures - 1 - i
 	}
-	return order
+	return fwd, rev
+}()
+
+// steeringOrder returns the steering arbitration priority order as feature
+// indices, reversed when the defect is enabled.
+func (a *Arbiter) steeringOrder() [numFeatures]int {
+	if a.ReversedSteeringPriority {
+		return reversedSteeringPriority
+	}
+	return steeringPriority
 }
 
 // participatesInSteering reports whether the feature takes part in the
 // steering arbitration stage.  Only LCA and PA control steering; with the
 // seeded defect they participate as soon as they are enabled rather than
 // only when active.
-func (a *Arbiter) participatesInSteering(bus *sim.Bus, feature string) bool {
-	if feature != SourceLCA && feature != SourcePA {
+func (a *Arbiter) participatesInSteering(v *busVars, feature int) bool {
+	if feature != idxLCA && feature != idxPA {
 		return false
 	}
-	if bus.ReadBool(SigActive(feature)) && bus.ReadBool(SigRequestingSteer(feature)) {
+	fv := &v.features[feature]
+	if fv.active.Read() && fv.requestingSteer.Read() {
 		return true
 	}
 	if !a.EnabledFeaturesJoinSteering {
 		return false
 	}
 	switch feature {
-	case SourceLCA:
-		return bus.ReadBool(SigLCAEnabled) && bus.ReadBool(SigActive(SourceLCA))
-	case SourcePA:
-		return bus.ReadBool(SigPAEnabled)
+	case idxLCA:
+		return v.lcaEnabled.Read() && fv.active.Read()
+	case idxPA:
+		return v.paEnabled.Read()
 	default:
 		return false
 	}
-}
-
-func readNumber(bus *sim.Bus, name string) float64 {
-	v := bus.ReadNumber(name)
-	if math.IsNaN(v) {
-		return 0
-	}
-	return v
 }

@@ -264,12 +264,12 @@ func TestArbiterSoftRequestFlags(t *testing.T) {
 func TestSteeringOrderReversedDefect(t *testing.T) {
 	a := NewArbiter()
 	order := a.steeringOrder()
-	if order[0] != SourcePA || order[len(order)-1] != SourceCA {
+	if order[0] != idxPA || order[len(order)-1] != idxCA {
 		t.Errorf("reversed steering priority should start with PA, got %v", order)
 	}
 	a.ReversedSteeringPriority = false
 	order = a.steeringOrder()
-	if order[0] != SourceCA {
+	if order[0] != idxCA {
 		t.Errorf("normal priority should start with CA, got %v", order)
 	}
 }

@@ -65,6 +65,8 @@ type Driver struct {
 	setSpeed                                                 float64
 	hmiGo                                                    bool
 	started                                                  bool
+
+	binding
 }
 
 // Name implements sim.Component.
@@ -72,6 +74,7 @@ func (d *Driver) Name() string { return "Driver" }
 
 // Step implements sim.Component.
 func (d *Driver) Step(now time.Duration, bus *sim.Bus) {
+	v := d.on(bus)
 	if !d.started {
 		d.gear = d.InitialGear
 		if d.gear == "" {
@@ -79,7 +82,7 @@ func (d *Driver) Step(now time.Duration, bus *sim.Bus) {
 		}
 		d.started = true
 	}
-	step := time.Duration(stepSeconds(bus) * float64(time.Second))
+	step := time.Duration(v.stepSeconds() * float64(time.Second))
 	// The go confirmation and engage requests are pulses: they last one
 	// state unless re-asserted.
 	d.hmiGo = false
@@ -135,23 +138,23 @@ func (d *Driver) Step(now time.Duration, bus *sim.Bus) {
 		}
 	}
 
-	bus.WriteBool(SigThrottlePedal, d.throttle > 0.02)
-	bus.WriteNumber(SigThrottleLevel, d.throttle)
-	bus.WriteBool(SigBrakePedal, d.brake > 0.02)
-	bus.WriteNumber(SigBrakeLevel, d.brake)
-	bus.WriteBool(SigSteeringActive, d.steering != 0)
-	bus.WriteNumber(SigSteeringInput, d.steering)
-	bus.WriteBool(SigPedalApplied, d.throttle > 0.02 || d.brake > 0.02)
-	bus.WriteString(SigGear, d.gear)
+	v.throttlePedal.Write(d.throttle > 0.02)
+	v.throttleLevel.Write(d.throttle)
+	v.brakePedal.Write(d.brake > 0.02)
+	v.brakeLevel.Write(d.brake)
+	v.steeringActive.Write(d.steering != 0)
+	v.steeringInput.Write(d.steering)
+	v.pedalApplied.Write(d.throttle > 0.02 || d.brake > 0.02)
+	v.gear.Write(d.gear)
 
-	bus.WriteBool(SigCAEnabled, d.caEnabled)
-	bus.WriteBool(SigRCAEnabled, d.rcaEnabled)
-	bus.WriteBool(SigACCEnabled, d.accEnabled)
-	bus.WriteBool(SigLCAEnabled, d.lcaEnabled)
-	bus.WriteBool(SigPAEnabled, d.paEnabled)
-	bus.WriteBool(SigACCEngageRequest, d.accEngage)
-	bus.WriteBool(SigLCAEngageRequest, d.lcaEngage)
-	bus.WriteBool(SigPAEngageRequest, d.paEngage)
-	bus.WriteNumber(SigACCSetSpeed, d.setSpeed)
-	bus.WriteBool(SigHMIGo, d.hmiGo)
+	v.caEnabled.Write(d.caEnabled)
+	v.rcaEnabled.Write(d.rcaEnabled)
+	v.accEnabled.Write(d.accEnabled)
+	v.lcaEnabled.Write(d.lcaEnabled)
+	v.paEnabled.Write(d.paEnabled)
+	v.accEngageRequest.Write(d.accEngage)
+	v.lcaEngageRequest.Write(d.lcaEngage)
+	v.paEngageRequest.Write(d.paEngage)
+	v.accSetSpeed.Write(d.setSpeed)
+	v.hmiGo.Write(d.hmiGo)
 }

@@ -8,18 +8,18 @@ import (
 )
 
 // featureOutputs publishes the standard output signals of a feature
-// subsystem and maintains the request-jerk signal used by the jerk subgoal
-// monitors.
+// subsystem through its slot-indexed handles and maintains the request-jerk
+// signal used by the jerk subgoal monitors.
 type featureOutputs struct {
-	name        string
+	idx         int // index into FeatureNames / busVars.features
 	prevRequest float64
 	havePrev    bool
 }
 
-func (f *featureOutputs) publish(bus *sim.Bus, active bool, accelRequest float64, requestingAccel bool,
+func (f *featureOutputs) publish(v *busVars, active bool, accelRequest float64, requestingAccel bool,
 	steerRequest float64, requestingSteer bool) {
 
-	dt := stepSeconds(bus)
+	dt := v.stepSeconds()
 	jerk := 0.0
 	if f.havePrev && dt > 0 {
 		jerk = (accelRequest - f.prevRequest) / dt
@@ -27,12 +27,13 @@ func (f *featureOutputs) publish(bus *sim.Bus, active bool, accelRequest float64
 	f.prevRequest = accelRequest
 	f.havePrev = true
 
-	bus.WriteBool(SigActive(f.name), active)
-	bus.WriteNumber(SigAccelRequest(f.name), accelRequest)
-	bus.WriteBool(SigRequestingAccel(f.name), requestingAccel)
-	bus.WriteNumber(SigSteerRequest(f.name), steerRequest)
-	bus.WriteBool(SigRequestingSteer(f.name), requestingSteer)
-	bus.WriteNumber(SigRequestJerk(f.name), jerk)
+	fv := &v.features[f.idx]
+	fv.active.Write(active)
+	fv.accelRequest.Write(accelRequest)
+	fv.requestingAccel.Write(requestingAccel)
+	fv.steerRequest.Write(steerRequest)
+	fv.requestingSteer.Write(requestingSteer)
+	fv.requestJerk.Write(jerk)
 }
 
 // CollisionAvoidance (CA) detects objects in the forward path and performs a
@@ -52,6 +53,8 @@ type CollisionAvoidance struct {
 	out     featureOutputs
 	braking bool
 	since   time.Duration
+
+	binding
 }
 
 // NewCollisionAvoidance returns a CA subsystem with the thesis' defect
@@ -61,7 +64,7 @@ func NewCollisionAvoidance() *CollisionAvoidance {
 		IntermittentBraking: true,
 		CancelPeriod:        400 * time.Millisecond,
 		CancelDuration:      60 * time.Millisecond,
-		out:                 featureOutputs{name: SourceCA},
+		out:                 featureOutputs{idx: idxCA},
 	}
 }
 
@@ -70,16 +73,17 @@ func (c *CollisionAvoidance) Name() string { return "CollisionAvoidance" }
 
 // Step implements sim.Component.
 func (c *CollisionAvoidance) Step(now time.Duration, bus *sim.Bus) {
-	c.out.name = SourceCA
-	enabled := bus.ReadBool(SigCAEnabled)
-	speed := bus.ReadNumber(SigVehicleSpeed)
-	distance := bus.ReadNumber(SigObjectDistance)
-	forward := bus.ReadString(SigGear) != "R"
+	v := c.on(bus)
+	c.out.idx = idxCA
+	enabled := v.caEnabled.Read()
+	speed := v.speed.Read()
+	distance := v.objectDistance.Read()
+	forward := v.gear.Read() != "R"
 
 	shouldBrake := false
 	if enabled && forward && !math.IsNaN(distance) && !math.IsNaN(speed) && speed > 0.2 {
 		timeToCollision := math.Inf(1)
-		closing := speed - bus.ReadNumber(SigObjectSpeed)
+		closing := speed - v.objectSpeed.Read()
 		if closing > 0 {
 			timeToCollision = distance / closing
 		}
@@ -111,7 +115,7 @@ func (c *CollisionAvoidance) Step(now time.Duration, bus *sim.Bus) {
 			}
 		}
 	}
-	c.out.publish(bus, active, request, active, 0, false)
+	c.out.publish(v, active, request, active, 0, false)
 }
 
 // RearCollisionAvoidance (RCA) should stop the vehicle when reversing toward
@@ -125,12 +129,14 @@ type RearCollisionAvoidance struct {
 	NeverEngages bool
 
 	out featureOutputs
+
+	binding
 }
 
 // NewRearCollisionAvoidance returns an RCA subsystem with the thesis' defect
 // enabled.
 func NewRearCollisionAvoidance() *RearCollisionAvoidance {
-	return &RearCollisionAvoidance{NeverEngages: true, out: featureOutputs{name: SourceRCA}}
+	return &RearCollisionAvoidance{NeverEngages: true, out: featureOutputs{idx: idxRCA}}
 }
 
 // Name implements sim.Component.
@@ -138,11 +144,12 @@ func (c *RearCollisionAvoidance) Name() string { return "RearCollisionAvoidance"
 
 // Step implements sim.Component.
 func (c *RearCollisionAvoidance) Step(_ time.Duration, bus *sim.Bus) {
-	c.out.name = SourceRCA
-	enabled := bus.ReadBool(SigRCAEnabled)
-	reverse := bus.ReadString(SigGear) == "R"
-	speed := bus.ReadNumber(SigVehicleSpeed)
-	rearDistance := bus.ReadNumber(SigRearObjectDistance)
+	v := c.on(bus)
+	c.out.idx = idxRCA
+	enabled := v.rcaEnabled.Read()
+	reverse := v.gear.Read() == "R"
+	speed := v.speed.Read()
+	rearDistance := v.rearObjectDistance.Read()
 
 	active := false
 	request := 0.0
@@ -150,7 +157,7 @@ func (c *RearCollisionAvoidance) Step(_ time.Duration, bus *sim.Bus) {
 		active = true
 		request = -CABrakeRequest // decelerate reverse motion (positive accel)
 	}
-	c.out.publish(bus, active, request, active, 0, false)
+	c.out.publish(v, active, request, active, 0, false)
 }
 
 // AdaptiveCruiseControl (ACC) controls the vehicle to a set speed, or to a
@@ -175,6 +182,8 @@ type AdaptiveCruiseControl struct {
 	out      featureOutputs
 	engaged  bool
 	setSpeed float64
+
+	binding
 }
 
 // NewAdaptiveCruiseControl returns an ACC subsystem with the thesis' defects
@@ -184,7 +193,7 @@ func NewAdaptiveCruiseControl() *AdaptiveCruiseControl {
 		ControlWhenNotEngaged: true,
 		EngageWithoutChecks:   true,
 		DecelWhileLCA:         true,
-		out:                   featureOutputs{name: SourceACC},
+		out:                   featureOutputs{idx: idxACC},
 	}
 }
 
@@ -196,10 +205,11 @@ func (c *AdaptiveCruiseControl) Engaged() bool { return c.engaged }
 
 // Step implements sim.Component.
 func (c *AdaptiveCruiseControl) Step(_ time.Duration, bus *sim.Bus) {
-	c.out.name = SourceACC
-	enabled := bus.ReadBool(SigACCEnabled)
-	engageRequest := bus.ReadBool(SigACCEngageRequest)
-	speed := bus.ReadNumber(SigVehicleSpeed)
+	v := c.on(bus)
+	c.out.idx = idxACC
+	enabled := v.accEnabled.Read()
+	engageRequest := v.accEngageRequest.Read()
+	speed := v.speed.Read()
 	if math.IsNaN(speed) {
 		speed = 0
 	}
@@ -213,22 +223,22 @@ func (c *AdaptiveCruiseControl) Step(_ time.Duration, bus *sim.Bus) {
 		// defect); engagement at a standstill was rejected (Scenario 10).
 		canEngage := math.Abs(speed) > 1.0
 		if !c.EngageWithoutChecks {
-			canEngage = canEngage && bus.ReadString(SigGear) == "D" && speed > 0
+			canEngage = canEngage && v.gear.Read() == "D" && speed > 0
 		}
 		if canEngage {
 			c.engaged = true
-			c.setSpeed = bus.ReadNumber(SigACCSetSpeed)
+			c.setSpeed = v.accSetSpeed.Read()
 			if c.setSpeed <= 0 || math.IsNaN(c.setSpeed) {
 				c.setSpeed = speed
 			}
 		}
 	}
 	// The driver cancels ACC with the brake pedal.
-	if bus.ReadBool(SigBrakePedal) && c.engaged {
+	if v.brakePedal.Read() && c.engaged {
 		c.engaged = false
 	}
 
-	lcaActive := bus.ReadBool(SigActive(SourceLCA))
+	lcaActive := v.features[idxLCA].active.Read()
 
 	controlling := c.engaged || (enabled && c.ControlWhenNotEngaged)
 	active := c.engaged
@@ -241,8 +251,8 @@ func (c *AdaptiveCruiseControl) Step(_ time.Duration, bus *sim.Bus) {
 			target = 0
 		}
 		// Gap control behind a slower lead vehicle.
-		distance := bus.ReadNumber(SigObjectDistance)
-		leadSpeed := bus.ReadNumber(SigObjectSpeed)
+		distance := v.objectDistance.Read()
+		leadSpeed := v.objectSpeed.Read()
 		desiredGap := 2*speed + 5
 		if !math.IsNaN(distance) && distance < desiredGap && leadSpeed < target {
 			target = leadSpeed
@@ -259,7 +269,7 @@ func (c *AdaptiveCruiseControl) Step(_ time.Duration, bus *sim.Bus) {
 			request = -1.5
 		}
 	}
-	c.out.publish(bus, active, request, controlling, 0, false)
+	c.out.publish(v, active, request, controlling, 0, false)
 }
 
 // LaneChangeAssist (LCA) performs a lane-change manoeuvre in conjunction
@@ -271,11 +281,13 @@ func (c *AdaptiveCruiseControl) Step(_ time.Duration, bus *sim.Bus) {
 type LaneChangeAssist struct {
 	out     featureOutputs
 	engaged bool
+
+	binding
 }
 
 // NewLaneChangeAssist returns an LCA subsystem.
 func NewLaneChangeAssist() *LaneChangeAssist {
-	return &LaneChangeAssist{out: featureOutputs{name: SourceLCA}}
+	return &LaneChangeAssist{out: featureOutputs{idx: idxLCA}}
 }
 
 // Name implements sim.Component.
@@ -283,12 +295,13 @@ func (c *LaneChangeAssist) Name() string { return "LaneChangeAssist" }
 
 // Step implements sim.Component.
 func (c *LaneChangeAssist) Step(_ time.Duration, bus *sim.Bus) {
-	c.out.name = SourceLCA
-	enabled := bus.ReadBool(SigLCAEnabled)
+	v := c.on(bus)
+	c.out.idx = idxLCA
+	enabled := v.lcaEnabled.Read()
 	if !enabled {
 		c.engaged = false
 	}
-	if enabled && bus.ReadBool(SigLCAEngageRequest) {
+	if enabled && v.lcaEngageRequest.Read() {
 		c.engaged = true
 	}
 	active := c.engaged
@@ -299,11 +312,8 @@ func (c *LaneChangeAssist) Step(_ time.Duration, bus *sim.Bus) {
 	// LCA's longitudinal control is performed by ACC; it nevertheless
 	// reports that it is requesting both acceleration and steering, which
 	// is what goal 3 (acceleration/steering agreement) checks.
-	accelRequest := bus.ReadNumber(SigAccelRequest(SourceACC))
-	if math.IsNaN(accelRequest) {
-		accelRequest = 0
-	}
-	c.out.publish(bus, active, accelRequest, active, steer, active)
+	accelRequest := number(v.features[idxACC].accelRequest)
+	c.out.publish(v, active, accelRequest, active, steer, active)
 }
 
 // ParkAssist (PA) finds a parking space and parks the vehicle when engaged.
@@ -318,11 +328,13 @@ type ParkAssist struct {
 
 	out     featureOutputs
 	engaged bool
+
+	binding
 }
 
 // NewParkAssist returns a PA subsystem with the thesis' defect enabled.
 func NewParkAssist() *ParkAssist {
-	return &ParkAssist{SpuriousRequests: true, out: featureOutputs{name: SourcePA}}
+	return &ParkAssist{SpuriousRequests: true, out: featureOutputs{idx: idxPA}}
 }
 
 // Name implements sim.Component.
@@ -330,12 +342,13 @@ func (c *ParkAssist) Name() string { return "ParkAssist" }
 
 // Step implements sim.Component.
 func (c *ParkAssist) Step(now time.Duration, bus *sim.Bus) {
-	c.out.name = SourcePA
-	enabled := bus.ReadBool(SigPAEnabled)
+	v := c.on(bus)
+	c.out.idx = idxPA
+	enabled := v.paEnabled.Read()
 	if !enabled {
 		c.engaged = false
 	}
-	if enabled && bus.ReadBool(SigPAEngageRequest) {
+	if enabled && v.paEngageRequest.Read() {
 		c.engaged = true
 	}
 
@@ -355,7 +368,7 @@ func (c *ParkAssist) Step(now time.Duration, bus *sim.Bus) {
 		steer = 4.0
 		requestingAccel = true
 		requestingSteer = true
-		if bus.ReadNumber(SigObjectDistance) < 3 {
+		if v.objectDistance.Read() < 3 {
 			request = -2.0
 		}
 	case c.SpuriousRequests:
@@ -372,5 +385,5 @@ func (c *ParkAssist) Step(now time.Duration, bus *sim.Bus) {
 		}
 		requestingAccel = false
 	}
-	c.out.publish(bus, active, request, requestingAccel, steer, requestingSteer)
+	c.out.publish(v, active, request, requestingAccel, steer, requestingSteer)
 }

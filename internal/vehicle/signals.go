@@ -1,0 +1,227 @@
+package vehicle
+
+import (
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Feature indices into FeatureNames and busVars.features, in arbitration
+// priority order.  Components identify features by index on the hot path and
+// translate to the string source tags only when publishing them.
+const (
+	idxCA = iota
+	idxRCA
+	idxACC
+	idxLCA
+	idxPA
+	numFeatures
+)
+
+func init() {
+	// FeatureNames is an indexed literal over the idx* constants; this trips
+	// at package load if a feature is added to one side but not the other.
+	if len(FeatureNames) != numFeatures {
+		panic("vehicle: FeatureNames out of sync with the feature index constants")
+	}
+	for i, name := range FeatureNames {
+		if name == "" {
+			panic("vehicle: FeatureNames has no name for feature index " + strconv.Itoa(i))
+		}
+	}
+}
+
+// featureVars holds the slot-indexed handles for one feature subsystem's
+// standard output signals.
+type featureVars struct {
+	active          sim.BoolVar
+	accelRequest    sim.NumVar
+	requestingAccel sim.BoolVar
+	steerRequest    sim.NumVar
+	requestingSteer sim.BoolVar
+	requestJerk     sim.NumVar
+	selected        sim.BoolVar
+}
+
+// busVars is the vehicle system's view of the bus, with every signal the
+// components touch resolved to a slot-indexed handle exactly once per run.
+// Each component binds lazily on its first Step (guarded by a pointer
+// compare), so components keep working whether they are driven by a
+// Simulation or stepped by hand in tests.
+type busVars struct {
+	bus *sim.Bus
+
+	periodSeconds sim.NumVar
+
+	// Vehicle state (sensed).
+	speed         sim.NumVar
+	accel         sim.NumVar
+	jerk          sim.NumVar
+	position      sim.NumVar
+	lane          sim.NumVar
+	steeringAngle sim.NumVar
+	stopped       sim.BoolVar
+	forward       sim.BoolVar
+	backward      sim.BoolVar
+	collision     sim.BoolVar
+	gear          sim.StringVar
+
+	// Object tracks.
+	objectDistance     sim.NumVar
+	objectSpeed        sim.NumVar
+	rearObjectDistance sim.NumVar
+
+	// Driver inputs.
+	throttlePedal  sim.BoolVar
+	throttleLevel  sim.NumVar
+	brakePedal     sim.BoolVar
+	brakeLevel     sim.NumVar
+	steeringActive sim.BoolVar
+	steeringInput  sim.NumVar
+	pedalApplied   sim.BoolVar
+
+	// HMI state.
+	caEnabled        sim.BoolVar
+	rcaEnabled       sim.BoolVar
+	accEnabled       sim.BoolVar
+	accEngageRequest sim.BoolVar
+	accSetSpeed      sim.NumVar
+	lcaEnabled       sim.BoolVar
+	lcaEngageRequest sim.BoolVar
+	paEnabled        sim.BoolVar
+	paEngageRequest  sim.BoolVar
+	hmiGo            sim.BoolVar
+
+	// Arbiter outputs.
+	accelCommand         sim.NumVar
+	accelSource          sim.StringVar
+	accelFromSubsystem   sim.BoolVar
+	accelCommandJerk     sim.NumVar
+	steerCommand         sim.NumVar
+	steerSource          sim.StringVar
+	steerFromSubsystem   sim.BoolVar
+	agreement            sim.BoolVar
+	selectedSoftFwd      sim.BoolVar
+	selectedSoftBwd      sim.BoolVar
+	selectedRequestValue sim.NumVar
+
+	features [numFeatures]featureVars
+}
+
+// bindVars resolves every vehicle signal against the bus schema.  It runs
+// once per component per run; all per-step traffic afterwards is slot
+// indexed.
+func bindVars(bus *sim.Bus) *busVars {
+	v := &busVars{
+		bus: bus,
+
+		periodSeconds: bus.NumVar(SigPeriodSeconds),
+
+		speed:         bus.NumVar(SigVehicleSpeed),
+		accel:         bus.NumVar(SigVehicleAccel),
+		jerk:          bus.NumVar(SigVehicleJerk),
+		position:      bus.NumVar(SigVehiclePosition),
+		lane:          bus.NumVar(SigLanePosition),
+		steeringAngle: bus.NumVar(SigSteeringAngle),
+		stopped:       bus.BoolVar(SigVehicleStopped),
+		forward:       bus.BoolVar(SigInForwardMotion),
+		backward:      bus.BoolVar(SigInBackwardMotion),
+		collision:     bus.BoolVar(SigCollision),
+		gear:          bus.StringVar(SigGear),
+
+		objectDistance:     bus.NumVar(SigObjectDistance),
+		objectSpeed:        bus.NumVar(SigObjectSpeed),
+		rearObjectDistance: bus.NumVar(SigRearObjectDistance),
+
+		throttlePedal:  bus.BoolVar(SigThrottlePedal),
+		throttleLevel:  bus.NumVar(SigThrottleLevel),
+		brakePedal:     bus.BoolVar(SigBrakePedal),
+		brakeLevel:     bus.NumVar(SigBrakeLevel),
+		steeringActive: bus.BoolVar(SigSteeringActive),
+		steeringInput:  bus.NumVar(SigSteeringInput),
+		pedalApplied:   bus.BoolVar(SigPedalApplied),
+
+		caEnabled:        bus.BoolVar(SigCAEnabled),
+		rcaEnabled:       bus.BoolVar(SigRCAEnabled),
+		accEnabled:       bus.BoolVar(SigACCEnabled),
+		accEngageRequest: bus.BoolVar(SigACCEngageRequest),
+		accSetSpeed:      bus.NumVar(SigACCSetSpeed),
+		lcaEnabled:       bus.BoolVar(SigLCAEnabled),
+		lcaEngageRequest: bus.BoolVar(SigLCAEngageRequest),
+		paEnabled:        bus.BoolVar(SigPAEnabled),
+		paEngageRequest:  bus.BoolVar(SigPAEngageRequest),
+		hmiGo:            bus.BoolVar(SigHMIGo),
+
+		accelCommand:         bus.NumVar(SigAccelCommand),
+		accelSource:          bus.StringVar(SigAccelSource),
+		accelFromSubsystem:   bus.BoolVar(SigAccelFromSubsystem),
+		accelCommandJerk:     bus.NumVar(SigAccelCommandJerk),
+		steerCommand:         bus.NumVar(SigSteerCommand),
+		steerSource:          bus.StringVar(SigSteerSource),
+		steerFromSubsystem:   bus.BoolVar(SigSteerFromSubsystem),
+		agreement:            bus.BoolVar(SigAccelSteeringAgreement),
+		selectedSoftFwd:      bus.BoolVar(SigSelectedSoftRequestFwd),
+		selectedSoftBwd:      bus.BoolVar(SigSelectedSoftRequestBwd),
+		selectedRequestValue: bus.NumVar(SigSelectedRequestValue),
+	}
+	for i, f := range FeatureNames {
+		v.features[i] = featureVars{
+			active:          bus.BoolVar(SigActive(f)),
+			accelRequest:    bus.NumVar(SigAccelRequest(f)),
+			requestingAccel: bus.BoolVar(SigRequestingAccel(f)),
+			steerRequest:    bus.NumVar(SigSteerRequest(f)),
+			requestingSteer: bus.BoolVar(SigRequestingSteer(f)),
+			requestJerk:     bus.NumVar(SigRequestJerk(f)),
+			selected:        bus.BoolVar(SigSelected(f)),
+		}
+	}
+	return v
+}
+
+// binding caches a component's busVars; components embed it and call on()
+// at the top of Step.  The pointer guard re-binds when the component is
+// reused against a different bus, so hand-constructed components work
+// without BindAll.
+type binding struct {
+	vars *busVars
+}
+
+func (b *binding) on(bus *sim.Bus) *busVars {
+	if b.vars == nil || b.vars.bus != bus {
+		b.vars = bindVars(bus)
+	}
+	return b.vars
+}
+
+func (b *binding) setVars(v *busVars) { b.vars = v }
+
+// BindAll resolves one shared handle set against the bus and hands it to
+// every vehicle component in the list (non-vehicle components are left
+// alone), so a run builds the ~80-handle table once instead of once per
+// component.  Components not covered here still bind lazily on first Step.
+func BindAll(bus *sim.Bus, comps ...sim.Component) {
+	v := bindVars(bus)
+	for _, c := range comps {
+		if b, ok := c.(interface{ setVars(*busVars) }); ok {
+			b.setVars(v)
+		}
+	}
+}
+
+// stepSeconds returns the simulation period in seconds (1 ms default).
+func (v *busVars) stepSeconds() float64 {
+	if dt := v.periodSeconds.Read(); dt > 0 {
+		return dt
+	}
+	return 0.001
+}
+
+// number reads a numeric handle, mapping the absent-signal NaN to 0 for
+// control laws that treat unknown inputs as neutral.
+func number(h sim.NumVar) float64 {
+	v := h.Read()
+	if v != v { // NaN
+		return 0
+	}
+	return v
+}

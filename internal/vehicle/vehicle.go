@@ -39,9 +39,18 @@ const (
 	SourceNone = "None"
 )
 
-// FeatureNames lists the five feature subsystems in arbitration priority
-// order (highest priority first).
-var FeatureNames = []string{SourceCA, SourceRCA, SourceACC, SourceLCA, SourcePA}
+// FeatureNames lists the feature subsystems in arbitration priority order
+// (highest priority first).  The indexed literal pins each name to its idx*
+// constant (signals.go), and an init check asserts the list covers exactly
+// numFeatures entries, so the name table and the slot-indexed feature
+// machinery cannot drift apart.
+var FeatureNames = []string{
+	idxCA:  SourceCA,
+	idxRCA: SourceRCA,
+	idxACC: SourceACC,
+	idxLCA: SourceLCA,
+	idxPA:  SourcePA,
+}
 
 // Bus signal names.  Goal formulas reference these names directly.
 const (
@@ -175,13 +184,6 @@ const (
 	GoTime = 500 * time.Millisecond
 )
 
-func stepSeconds(bus *sim.Bus) float64 {
-	if dt := bus.ReadNumber(SigPeriodSeconds); dt > 0 {
-		return dt
-	}
-	return 0.001
-}
-
 // Dynamics is the host-vehicle longitudinal and lateral dynamics model: the
 // substitute for the CarSim vehicle plant.  The achieved acceleration tracks
 // the arbiter's command with a first-order lag; speed and position are
@@ -200,6 +202,8 @@ type Dynamics struct {
 	// InitialSpeed sets the speed at the first step, in m/s.
 	InitialSpeed float64
 	started      bool
+
+	binding
 }
 
 // Name implements sim.Component.
@@ -207,18 +211,15 @@ func (d *Dynamics) Name() string { return "VehicleDynamics" }
 
 // Step implements sim.Component.
 func (d *Dynamics) Step(_ time.Duration, bus *sim.Bus) {
+	v := d.on(bus)
 	if !d.started {
 		d.speed = d.InitialSpeed
 		d.started = true
 	}
-	dt := stepSeconds(bus)
-	cmd := bus.ReadNumber(SigAccelCommand)
-	if math.IsNaN(cmd) {
-		cmd = 0
-	}
-	source := bus.ReadString(SigAccelSource)
-	gear := bus.ReadString(SigGear)
-	reverse := gear == "R"
+	dt := v.stepSeconds()
+	cmd := number(v.accelCommand)
+	source := v.accelSource.Read()
+	reverse := v.gear.Read() == "R"
 
 	// Automatic-transmission creep: with no command and no pedal, the
 	// vehicle slowly creeps in the direction of the gear.
@@ -259,21 +260,18 @@ func (d *Dynamics) Step(_ time.Duration, bus *sim.Bus) {
 
 	// Lateral: the steering command is applied directly (a kinematic
 	// approximation); the lane position drifts with the steering angle.
-	d.steering = bus.ReadNumber(SigSteerCommand)
-	if math.IsNaN(d.steering) {
-		d.steering = 0
-	}
+	d.steering = number(v.steerCommand)
 	d.lane += d.steering * d.speed * 0.02 * dt
 
-	bus.WriteNumber(SigVehicleSpeed, d.speed)
-	bus.WriteNumber(SigVehicleAccel, d.accel)
-	bus.WriteNumber(SigVehicleJerk, jerk)
-	bus.WriteNumber(SigVehiclePosition, d.position)
-	bus.WriteNumber(SigLanePosition, d.lane)
-	bus.WriteNumber(SigSteeringAngle, d.steering)
-	bus.WriteBool(SigVehicleStopped, math.Abs(d.speed) < StoppedSpeedEpsilon)
-	bus.WriteBool(SigInForwardMotion, d.speed > StoppedSpeedEpsilon)
-	bus.WriteBool(SigInBackwardMotion, d.speed < -StoppedSpeedEpsilon)
+	v.speed.Write(d.speed)
+	v.accel.Write(d.accel)
+	v.jerk.Write(jerk)
+	v.position.Write(d.position)
+	v.lane.Write(d.lane)
+	v.steeringAngle.Write(d.steering)
+	v.stopped.Write(math.Abs(d.speed) < StoppedSpeedEpsilon)
+	v.forward.Write(d.speed > StoppedSpeedEpsilon)
+	v.backward.Write(d.speed < -StoppedSpeedEpsilon)
 }
 
 // Object is a target vehicle (or obstacle) in the host vehicle's path.  It
@@ -288,6 +286,8 @@ type Object struct {
 
 	position float64
 	started  bool
+
+	binding
 }
 
 // Name implements sim.Component.
@@ -295,11 +295,9 @@ func (o *Object) Name() string { return "Object" }
 
 // Step implements sim.Component.
 func (o *Object) Step(_ time.Duration, bus *sim.Bus) {
-	dt := stepSeconds(bus)
-	host := bus.ReadNumber(SigVehiclePosition)
-	if math.IsNaN(host) {
-		host = 0
-	}
+	v := o.on(bus)
+	dt := v.stepSeconds()
+	host := number(v.position)
 	if !o.started {
 		o.position = host + o.InitialDistance
 		o.started = true
@@ -308,14 +306,14 @@ func (o *Object) Step(_ time.Duration, bus *sim.Bus) {
 
 	gap := o.position - host
 	if o.InitialDistance >= 0 {
-		bus.WriteNumber(SigObjectDistance, gap)
-		bus.WriteNumber(SigObjectSpeed, o.Speed)
-		bus.WriteNumber(SigRearObjectDistance, 1e9)
-		bus.WriteBool(SigCollision, gap <= 0)
+		v.objectDistance.Write(gap)
+		v.objectSpeed.Write(o.Speed)
+		v.rearObjectDistance.Write(1e9)
+		v.collision.Write(gap <= 0)
 	} else {
-		bus.WriteNumber(SigObjectDistance, 1e9)
-		bus.WriteNumber(SigObjectSpeed, o.Speed)
-		bus.WriteNumber(SigRearObjectDistance, -gap)
-		bus.WriteBool(SigCollision, gap >= 0)
+		v.objectDistance.Write(1e9)
+		v.objectSpeed.Write(o.Speed)
+		v.rearObjectDistance.Write(-gap)
+		v.collision.Write(gap >= 0)
 	}
 }
