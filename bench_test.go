@@ -326,6 +326,27 @@ func BenchmarkSweepRetention(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSweepSummaryOnly is the headline sweep benchmark: the
+// 40-variant short-duration sweep streamed with summary-only retention —
+// trace-free runs, one shared evaluation program compiled per worker and
+// reused across its variants.  It tracks the end-to-end cost of the
+// monitored-evaluation hot path across PRs.
+func BenchmarkRunSweepSummaryOnly(b *testing.B) {
+	sweep := shortSweep()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine := scenarios.NewEngine(scenarios.WithRetention(scenarios.SummaryOnly))
+		acc, err := engine.Accumulate(context.Background(), sweep.Source())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if acc.Runs() != 40 {
+			b.Fatal("expected 40 streamed runs")
+		}
+	}
+}
+
 // BenchmarkAblation_CorrectedScenario2 is the corrected-defects ablation: the
 // same scenario run with every seeded defect removed, showing how much of
 // the violation structure is attributable to the thesis' documented defects.
@@ -464,8 +485,9 @@ func BenchmarkMonitorObserve(b *testing.B) {
 	}
 }
 
-func BenchmarkSuiteObserveFullPlan(b *testing.B) {
-	suite := scenarios.BuildSuite(time.Millisecond)
+// suiteObserveState builds the synthetic state the suite-observation
+// benchmarks evaluate against.
+func suiteObserveState() temporal.State {
 	state := temporal.NewState().
 		SetBool(vehicle.SigAccelFromSubsystem, true).
 		SetNumber(vehicle.SigVehicleAccel, 1.2).
@@ -477,8 +499,32 @@ func BenchmarkSuiteObserveFullPlan(b *testing.B) {
 		state.SetNumber(vehicle.SigAccelRequest(f), 0.5)
 		state.SetNumber(vehicle.SigRequestJerk(f), 0.1)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		suite.Observe(state)
-	}
+	return state
+}
+
+// BenchmarkSuiteObserve contrasts the two evaluations of the full Table 5.3
+// monitoring plan against one state: PerMonitor steps ~30 independent goal
+// steppers (every shared atom re-read per monitor), Program evaluates the
+// whole plan as one shared, hash-consed program in which each atom and each
+// common subformula is read once per step.  The gap is the per-step cost the
+// suite-level CSE removes from every simulated state of every sweep variant.
+func BenchmarkSuiteObserve(b *testing.B) {
+	b.Run("PerMonitor", func(b *testing.B) {
+		state := suiteObserveState()
+		suite := scenarios.BuildSuite(time.Millisecond)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			suite.Observe(state)
+		}
+	})
+	b.Run("Program", func(b *testing.B) {
+		state := suiteObserveState()
+		suite := scenarios.BuildSuiteWithSchema(time.Millisecond, state.Schema())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			suite.Observe(state)
+		}
+	})
 }

@@ -8,10 +8,13 @@
 // and reports the partial aggregate).  Beyond the ten fixed thesis scenarios,
 // -sweep evaluates a parameter sweep whose grid -sweep-size selects: default
 // (120 variants over initial speed, object distance and defect
-// configuration), wide (360, adds object speeds) or huge (1296, adds a
-// fourth speed, a third distance and the gear axis).  Sweeps stream lazily
-// with summary-only trace retention, so memory stays O(workers) however
-// large the grid.
+// configuration), wide (360, adds object speeds), huge (1296, adds a
+// fourth speed, a third distance and the gear axis), tolerance (30, varies
+// the hit-matching window) or defects (120, per-feature defect subsets under
+// perturbed driver schedules).  Sweeps stream lazily with summary-only trace
+// retention, so memory stays O(workers) however large the grid; each worker
+// compiles the monitoring plan into one shared evaluation program and reuses
+// it across every variant it runs.
 //
 // -json emits one machine-readable summary document; -stream emits NDJSON —
 // one line per completed run, in input order, followed by a final aggregate
@@ -120,7 +123,7 @@ func run(args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "worker-pool size for scenario execution (default GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "bound the whole evaluation; on expiry in-flight runs drain and the partial aggregate is reported (0 = no bound)")
 	sweep := fs.Bool("sweep", false, "evaluate a parameter sweep instead of the ten fixed scenarios")
-	sweepSize := fs.String("sweep-size", "default", "sweep grid preset: default (120 variants), wide (360, adds object speeds), huge (1296, adds speeds, distances and gears where meaningful) or tolerance (30, varies the hit-matching window)")
+	sweepSize := fs.String("sweep-size", "default", "sweep grid preset: default (120 variants), wide (360, adds object speeds), huge (1296, adds speeds, distances and gears where meaningful), tolerance (30, varies the hit-matching window) or defects (120, per-feature defect subsets under perturbed driver schedules)")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary instead of the rendered tables")
 	stream := fs.Bool("stream", false, "emit NDJSON: one line per completed run, then a final aggregate line")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the evaluation to this file (inspect with go tool pprof)")

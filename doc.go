@@ -22,6 +22,20 @@
 // prove the slot-indexed and string-keyed evaluations produce identical
 // detections across the full evaluation.
 //
+// Monitoring is evaluated as one composed artifact: temporal.Program
+// compiles every goal and subgoal formula of a monitor suite into a single
+// flat, topologically ordered node array with common subexpressions
+// hash-consed away, so each shared atom and subformula is evaluated exactly
+// once per observed state however many formulas reference it (the vehicle
+// plan's 49 formulas collapse from 360 node references to 159 nodes).
+// monitor.CompiledSuite feeds the program's per-formula verdicts into
+// lightweight interval recorders and reuses the Hierarchy / Classify /
+// Report machinery unchanged; Reset makes one compiled program serve run
+// after run, which is how a sweep worker monitors every variant it executes
+// with a single compilation.  The per-monitor (scenarios.BuildSuite) and
+// string-keyed (temporal.CompileReference) paths remain as reference
+// implementations that differential tests compare the program against.
+//
 // Scenario evaluation is built around the streaming scenarios.Engine: jobs
 // are pulled lazily from a JobSource (Family and Sweep expose generator
 // forms, so a parameter grid of any size never materializes a job slice),

@@ -1,0 +1,37 @@
+package elevator
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCompiledSuiteMatchesPerMonitor replays each monitored run's trace
+// through the per-monitor reference suite and requires the classifications to
+// equal the ones the compiled-program suite produced live — the elevator's
+// counterpart of the vehicle differential tests.
+func TestCompiledSuiteMatchesPerMonitor(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res := Run(sc)
+
+			plain := BuildSuite(DefaultPeriod)
+			for i := 0; i < res.Trace.Len(); i++ {
+				plain.Observe(res.Trace.At(i))
+			}
+			plain.Finish()
+
+			plainDetections, plainSummary := plain.ClassifyAll()
+			if res.Summary != plainSummary {
+				t.Errorf("compiled summary %v != per-monitor summary %v", res.Summary, plainSummary)
+			}
+			if !reflect.DeepEqual(res.Detections, plainDetections) {
+				t.Errorf("compiled detections diverge from the per-monitor suite\ncompiled: %#v\nplain:    %#v",
+					res.Detections, plainDetections)
+			}
+			if got, want := res.Suite.Report(), plain.Report(); !reflect.DeepEqual(got, want) {
+				t.Errorf("compiled report diverges from the per-monitor suite")
+			}
+		})
+	}
+}

@@ -137,45 +137,71 @@ func Scenarios() []Scenario {
 	}
 }
 
-// BuildSuite constructs the hierarchical monitor suite for the elevator: one
-// hierarchy per system goal, with the ICPA-derived subgoals as children.
-// Monitor atoms resolve their state-variable slots on the first observed
-// state; Run compiles the suite against the bus schema instead.
-func BuildSuite(period time.Duration) *monitor.Suite {
-	return buildSuite(period, nil)
+// hierarchySpec is one row group of the elevator monitoring plan: a system
+// goal with its subgoal monitor placements.
+type hierarchySpec struct {
+	parent   monitor.GoalAt
+	children []monitor.GoalAt
 }
 
-// BuildSuiteWithSchema is BuildSuite compiled against a run's symbol table,
-// so every goal atom is a register-slot load from the first observation.
-func BuildSuiteWithSchema(period time.Duration, schema *temporal.Schema) *monitor.Suite {
-	return buildSuite(period, schema)
-}
-
-func buildSuite(period time.Duration, schema *temporal.Schema) *monitor.Suite {
+// elevatorPlan is the elevator monitoring plan: one hierarchy per system
+// goal, with the ICPA-derived subgoals as children, shared by the
+// per-monitor and compiled suite builders.
+func elevatorPlan() []hierarchySpec {
 	registry := Goals()
-	suite := monitor.NewSuite()
-	mon := func(goal, location string) *monitor.Monitor {
-		return monitor.MustNewWithSchema(registry.MustGet(goal), location, period, schema)
+	at := func(goal, location string) monitor.GoalAt {
+		return monitor.GoalAt{Goal: registry.MustGet(goal), Location: location}
 	}
+	return []hierarchySpec{
+		{
+			parent: at(GoalDoorClosedOrStopped, "Elevator"),
+			children: []monitor.GoalAt{
+				at(SubgoalCloseDoorWhenMoving, "DoorController"),
+				at(SubgoalStopWhenDoorOpen, "DriveController"),
+			},
+		},
+		{
+			parent:   at(GoalDriveStoppedWhenOverweight, "Elevator"),
+			children: []monitor.GoalAt{at(SubgoalDriveStopOverweight, "DriveController")},
+		},
+		{
+			parent: at(GoalBelowHoistwayLimit, "Elevator"),
+			children: []monitor.GoalAt{
+				at(SubgoalStopBeforeLimit, "DriveController"),
+				at(SubgoalEmergencyStopBeforeLimit, "EmergencyBrake"),
+			},
+		},
+	}
+}
 
-	suite.Add(monitor.NewHierarchy(
-		mon(GoalDoorClosedOrStopped, "Elevator"),
-		matchTolerance,
-		mon(SubgoalCloseDoorWhenMoving, "DoorController"),
-		mon(SubgoalStopWhenDoorOpen, "DriveController"),
-	))
-	suite.Add(monitor.NewHierarchy(
-		mon(GoalDriveStoppedWhenOverweight, "Elevator"),
-		matchTolerance,
-		mon(SubgoalDriveStopOverweight, "DriveController"),
-	))
-	suite.Add(monitor.NewHierarchy(
-		mon(GoalBelowHoistwayLimit, "Elevator"),
-		matchTolerance,
-		mon(SubgoalStopBeforeLimit, "DriveController"),
-		mon(SubgoalEmergencyStopBeforeLimit, "EmergencyBrake"),
-	))
+// BuildSuite constructs the hierarchical monitor suite for the elevator as
+// individual per-monitor steppers.  Monitor atoms resolve their
+// state-variable slots on the first observed state.  It is the per-monitor
+// reference; Run evaluates the plan through BuildSuiteWithSchema's shared
+// program instead.
+func BuildSuite(period time.Duration) *monitor.Suite {
+	suite := monitor.NewSuite()
+	for _, h := range elevatorPlan() {
+		parent := monitor.MustNew(h.parent.Goal, h.parent.Location, period)
+		children := make([]*monitor.Monitor, len(h.children))
+		for i, c := range h.children {
+			children[i] = monitor.MustNew(c.Goal, c.Location, period)
+		}
+		suite.Add(monitor.NewHierarchy(parent, matchTolerance, children...))
+	}
 	return suite
+}
+
+// BuildSuiteWithSchema compiles the elevator monitoring plan into one shared
+// evaluation program against a run's symbol table: every goal atom is a
+// register-slot load from the first observation and the plan's overlapping
+// door/drive/position atoms are each evaluated once per state.
+func BuildSuiteWithSchema(period time.Duration, schema *temporal.Schema) *monitor.CompiledSuite {
+	cs := monitor.NewCompiledSuite(period, schema)
+	for _, h := range elevatorPlan() {
+		cs.MustAddHierarchy(h.parent, matchTolerance, h.children...)
+	}
+	return cs
 }
 
 // Run executes a scenario with hierarchical monitoring and returns the
@@ -218,7 +244,7 @@ func Run(sc Scenario) Result {
 	s.Add(components...)
 
 	suite := BuildSuiteWithSchema(DefaultPeriod, s.Bus.Schema())
-	s.OnStep(func(_ time.Duration, st temporal.State) { suite.Observe(st) })
+	s.Observe(suite)
 
 	duration := sc.Duration
 	if duration <= 0 {
@@ -227,13 +253,13 @@ func Run(sc Scenario) Result {
 	trace := s.Run(duration)
 	suite.Finish()
 
-	detections := suite.Classify()
+	detections, summary := suite.ClassifyAll()
 	return Result{
 		Scenario:   sc,
 		Trace:      trace,
-		Suite:      suite,
+		Suite:      suite.Suite(),
 		Detections: detections,
-		Summary:    suite.Summary(),
+		Summary:    summary,
 	}
 }
 

@@ -141,9 +141,20 @@ func MustNewWithSchema(g goals.Goal, location string, period time.Duration, sche
 }
 
 // Observe evaluates the goal on the next state and returns true when the
-// goal holds at that state.
+// goal holds at that state.  It panics on a program-fed monitor (one built by
+// a CompiledSuite): those monitors have no stepper of their own and receive
+// their verdicts from the shared evaluation program instead.
 func (m *Monitor) Observe(s temporal.State) bool {
-	ok := m.stepper.Step(s)
+	if m.stepper == nil {
+		panic("monitor: Observe on a program-fed monitor; verdicts come from its CompiledSuite")
+	}
+	return m.recordVerdict(m.stepper.Step(s))
+}
+
+// recordVerdict folds one per-state verdict into the violation intervals.  It
+// is the recording half of Observe, decoupled from formula evaluation so a
+// suite-level program can drive many monitors from one shared pass.
+func (m *Monitor) recordVerdict(ok bool) bool {
 	if !ok && !m.inViolation {
 		m.inViolation = true
 		m.current = Interval{Start: m.step}
@@ -169,7 +180,9 @@ func (m *Monitor) Finish() {
 
 // Reset clears all recorded state so the monitor can observe a new run.
 func (m *Monitor) Reset() {
-	m.stepper.Reset()
+	if m.stepper != nil {
+		m.stepper.Reset()
+	}
 	m.step = 0
 	m.inViolation = false
 	m.current = Interval{}
@@ -214,8 +227,13 @@ func (m *Monitor) String() string {
 
 // RunTrace replays a recorded trace through the monitor (resetting it first)
 // and returns the violation intervals.  It is the batch counterpart of
-// Observe for offline analysis of recorded scenarios.
+// Observe for offline analysis of recorded scenarios.  Like Observe, it
+// panics on a program-fed monitor (one retained from a CompiledSuite run):
+// such monitors cannot re-evaluate their goal on their own.
 func (m *Monitor) RunTrace(tr *temporal.Trace) []Interval {
+	if m.stepper == nil {
+		panic("monitor: RunTrace on a program-fed monitor; its goal is evaluated by its CompiledSuite")
+	}
 	m.Reset()
 	for i := 0; i < tr.Len(); i++ {
 		m.Observe(tr.At(i))
@@ -312,32 +330,51 @@ func (h *Hierarchy) Finish() {
 
 // Classify matches parent violations against child violations and returns
 // the hits, false negatives and false positives (thesis §5.1.2).
+//
+// Violation intervals are recorded in trace order, so each monitor's list is
+// sorted by Start and End and pairwise disjoint.  Matching is therefore a
+// sort-merge per child: for each parent violation the overlapping child
+// violations form one contiguous range, and the range's lower bound only ever
+// advances — O(parent + child + matches) instead of the all-pairs scan.
 func (h *Hierarchy) Classify() []Detection {
-	var out []Detection
+	pvs := h.Parent.Violations()
+	matched := make([][]string, len(pvs))
+	var falsePositives []Detection
 
-	childIntervals := make(map[*Monitor][]Interval, len(h.Children))
-	matchedChild := make(map[*Monitor][]bool, len(h.Children))
 	for _, c := range h.Children {
-		ivs := c.Violations()
-		childIntervals[c] = ivs
-		matchedChild[c] = make([]bool, len(ivs))
-	}
-
-	for _, pv := range h.Parent.Violations() {
-		var matched []string
-		for _, c := range h.Children {
-			for i, cv := range childIntervals[c] {
-				if pv.Overlaps(cv, h.Tolerance) {
-					matched = append(matched, c.Goal.Name)
-					matchedChild[c][i] = true
-				}
+		cvs := c.Violations()
+		matchedChild := make([]bool, len(cvs))
+		// lo is the first child interval not entirely before the current
+		// parent interval.  Child ends are non-decreasing (disjoint, ordered
+		// intervals) and parent starts are non-decreasing, so a child skipped
+		// here can never overlap a later parent and lo advances monotonically.
+		lo := 0
+		for i, pv := range pvs {
+			pStart, pEnd := pv.Start-h.Tolerance, pv.End+h.Tolerance
+			for lo < len(cvs) && cvs[lo].End+h.Tolerance <= pStart {
+				lo++
+			}
+			for j := lo; j < len(cvs) && cvs[j].Start-h.Tolerance < pEnd; j++ {
+				matched[i] = append(matched[i], c.Goal.Name)
+				matchedChild[j] = true
 			}
 		}
-		if len(matched) > 0 {
-			sort.Strings(matched)
+		for j, cv := range cvs {
+			if !matchedChild[j] {
+				falsePositives = append(falsePositives, Detection{
+					Kind: FalsePositive, GoalName: c.Goal.Name, Location: c.Location, Interval: cv,
+				})
+			}
+		}
+	}
+
+	var out []Detection
+	for i, pv := range pvs {
+		if names := matched[i]; len(names) > 0 {
+			sort.Strings(names)
 			out = append(out, Detection{
 				Kind: Hit, GoalName: h.Parent.Goal.Name, Location: h.Parent.Location,
-				Interval: pv, MatchedSubgoals: uniqueStrings(matched),
+				Interval: pv, MatchedSubgoals: uniqueStrings(names),
 			})
 		} else {
 			out = append(out, Detection{
@@ -346,17 +383,7 @@ func (h *Hierarchy) Classify() []Detection {
 			})
 		}
 	}
-
-	for _, c := range h.Children {
-		for i, cv := range childIntervals[c] {
-			if !matchedChild[c][i] {
-				out = append(out, Detection{
-					Kind: FalsePositive, GoalName: c.Goal.Name, Location: c.Location, Interval: cv,
-				})
-			}
-		}
-	}
-	return out
+	return append(out, falsePositives...)
 }
 
 // Summary aggregates a classified detection list.
@@ -386,8 +413,11 @@ func Summarize(ds []Detection) Summary {
 // SummarizeMap counts detections by kind across a whole classification map,
 // as produced by Suite.Classify.  Note the map is keyed by parent goal name,
 // so if two hierarchies monitor the same goal only the last one's detections
-// are present; callers that hold a Suite should prefer ClassifyAll, which
-// sums over the hierarchies themselves.
+// are present.
+//
+// Deprecated: use Suite.ClassifyAll (or CompiledSuite.ClassifyAll), which
+// sums over the hierarchies themselves and therefore counts every hierarchy
+// even when several share a parent goal name, in one classification pass.
 func SummarizeMap(m map[string][]Detection) Summary {
 	var s Summary
 	for _, ds := range m {

@@ -1,13 +1,14 @@
 package scenarios
 
-// Differential tests for the slot-indexed state refactor: the same
-// simulation is observed simultaneously by two monitor suites — one compiled
-// against the run's schema (atoms are register-slot loads) and one compiled
-// in reference mode (atoms evaluate through the string-keyed State API on
-// every step, the behaviour of the map-backed representation).  Identical
-// classifications across the ten thesis scenarios and the 120-variant
-// DefaultSweep prove the refactor changed the representation, not the
-// results.
+// Differential tests for the monitoring substrate: the same simulation is
+// observed simultaneously by three monitor suites — the compiled-program
+// suite (every goal formula lowered into one shared, hash-consed evaluation
+// program, the production path), a per-monitor slot-indexed suite (one
+// Stepper per goal), and a reference suite whose atoms evaluate through the
+// string-keyed State API on every step.  Identical classifications across the
+// ten thesis scenarios, the 120-variant DefaultSweep and the tolerance sweep
+// prove the suite-level CSE and the per-worker program reuse changed the
+// evaluation strategy, not the results.
 
 import (
 	"reflect"
@@ -42,14 +43,34 @@ func buildReferenceSuite(t *testing.T, period time.Duration, tolerance int) *mon
 	return suite
 }
 
-// runDifferential executes one scenario with both suites attached to the
-// same simulation and asserts identical detections and summaries.
-func runDifferential(t *testing.T, sc Scenario, opts Options) {
+// runDifferential executes one scenario with all three suites attached to the
+// same simulation and asserts identical detections and summaries.  A non-nil
+// cache reuses one compiled program per tolerance across calls — exactly the
+// Engine worker's reuse pattern — so the sweep-shaped tests also prove Reset
+// restores a program to a freshly compiled state.
+func runDifferential(t *testing.T, sc Scenario, opts Options, cache suiteCache) {
 	t.Helper()
 
 	s := NewSimulation(sc, opts)
-	slotSuite := buildSuite(Period, s.Bus.Schema(), opts.tolerance())
-	refSuite := buildReferenceSuite(t, Period, opts.tolerance())
+	tol := opts.tolerance()
+	slotSuite := buildSuite(Period, s.Bus.Schema(), tol)
+	refSuite := buildReferenceSuite(t, Period, tol)
+
+	var compiled *monitor.CompiledSuite
+	if cache != nil {
+		if cached, ok := cache[tol]; ok {
+			cached.Reset()
+			compiled = cached
+		}
+	}
+	if compiled == nil {
+		compiled = buildCompiledSuite(Period, s.Bus.Schema(), tol)
+		if cache != nil {
+			cache[tol] = compiled
+		}
+	}
+
+	s.Observe(compiled)
 	s.OnStep(func(_ time.Duration, st temporal.State) {
 		slotSuite.Observe(st)
 		refSuite.Observe(st)
@@ -66,9 +87,11 @@ func runDifferential(t *testing.T, sc Scenario, opts Options) {
 	s.RunDiscard(duration)
 	slotSuite.Finish()
 	refSuite.Finish()
+	compiled.Finish()
 
 	slotDetections, slotSummary := slotSuite.ClassifyAll()
 	refDetections, refSummary := refSuite.ClassifyAll()
+	progDetections, progSummary := compiled.ClassifyAll()
 
 	if slotSummary != refSummary {
 		t.Errorf("%s (%s): slot-indexed summary %v != reference summary %v",
@@ -77,6 +100,37 @@ func runDifferential(t *testing.T, sc Scenario, opts Options) {
 	if !reflect.DeepEqual(slotDetections, refDetections) {
 		t.Errorf("%s (%s): slot-indexed detections diverge from the string-keyed reference\nslot: %#v\nref:  %#v",
 			sc.Name, opts.Label(), slotDetections, refDetections)
+	}
+	if progSummary != slotSummary {
+		t.Errorf("%s (%s): compiled-program summary %v != per-monitor summary %v",
+			sc.Name, opts.Label(), progSummary, slotSummary)
+	}
+	if !reflect.DeepEqual(progDetections, slotDetections) {
+		t.Errorf("%s (%s): compiled-program detections diverge from the per-monitor suite\nprogram: %#v\nmonitors: %#v",
+			sc.Name, opts.Label(), progDetections, slotDetections)
+	}
+	if got, want := compiled.Report(), slotSuite.Report(); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s (%s): compiled-program violation report diverges from the per-monitor suite",
+			sc.Name, opts.Label())
+	}
+}
+
+// TestVehiclePlanProgramSharing pins the point of the compiled suite on the
+// real monitoring plan: the Table 5.3 goal and subgoal formulas overlap
+// heavily, so the shared program evaluates far fewer atoms per step than the
+// per-monitor suite reads.
+func TestVehiclePlanProgramSharing(t *testing.T) {
+	cs := BuildSuiteWithSchema(Period, temporal.NewSchema())
+	s := cs.Program().Stats()
+	t.Logf("program stats: %+v", s)
+	if s.Formulas < 30 {
+		t.Fatalf("monitoring plan compiled %d formulas, want the full Table 5.3 plan (>= 30)", s.Formulas)
+	}
+	if s.Atoms*2 > s.AtomRefs {
+		t.Errorf("weak atom sharing: %d unique atoms for %d references (want >= 2x sharing)", s.Atoms, s.AtomRefs)
+	}
+	if s.Nodes >= s.NodeRefs {
+		t.Errorf("no node sharing: %d unique nodes for %d references", s.Nodes, s.NodeRefs)
 	}
 }
 
@@ -90,17 +144,18 @@ func TestDifferentialThesisScenarios(t *testing.T) {
 			sc.Duration = 2 * time.Second
 		}
 		t.Run(sc.Name, func(t *testing.T) {
-			runDifferential(t, sc, Options{})
-			runDifferential(t, sc, Options{CorrectDefects: true})
+			runDifferential(t, sc, Options{}, nil)
+			runDifferential(t, sc, Options{CorrectDefects: true}, nil)
 		})
 	}
 }
 
 // TestDifferentialDefaultSweep proves detection equivalence across every
-// variant of the 120-variant DefaultSweep.  Durations are shortened so the
-// population runs in test time (the full-length scenarios are covered by
-// TestDifferentialThesisScenarios); every variant of the grid — all speeds,
-// distances and defect configurations — is exercised.
+// variant of the 120-variant DefaultSweep, reusing one compiled program
+// across all variants the way an Engine worker does.  Durations are shortened
+// so the population runs in test time (the full-length scenarios are covered
+// by TestDifferentialThesisScenarios); every variant of the grid — all
+// speeds, distances and defect configurations — is exercised.
 func TestDifferentialDefaultSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs all 120 DefaultSweep variants differentially")
@@ -112,6 +167,7 @@ func TestDifferentialDefaultSweep(t *testing.T) {
 	if sw.Size() != 120 {
 		t.Fatalf("DefaultSweep size = %d, want 120", sw.Size())
 	}
+	cache := make(suiteCache)
 	src := sw.Source()
 	runs := 0
 	for {
@@ -119,7 +175,7 @@ func TestDifferentialDefaultSweep(t *testing.T) {
 		if !ok {
 			break
 		}
-		runDifferential(t, job.Scenario, job.Options)
+		runDifferential(t, job.Scenario, job.Options, cache)
 		runs++
 	}
 	if runs != 120 {
@@ -128,8 +184,9 @@ func TestDifferentialDefaultSweep(t *testing.T) {
 }
 
 // TestDifferentialToleranceSweep extends the equivalence proof to the
-// monitor-tolerance axis: a non-default matching window must shift both
-// implementations' classifications identically.
+// monitor-tolerance axis: a non-default matching window must shift all three
+// implementations' classifications identically, with the compiled program
+// reused per tolerance.
 func TestDifferentialToleranceSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the 30-variant tolerance sweep differentially")
@@ -138,12 +195,40 @@ func TestDifferentialToleranceSweep(t *testing.T) {
 	for i := range sw.Families {
 		sw.Families[i].Base.Duration = 1 * time.Second
 	}
+	cache := make(suiteCache)
 	src := sw.Source()
 	for {
 		job, ok := src.Next()
 		if !ok {
 			break
 		}
-		runDifferential(t, job.Scenario, job.Options)
+		runDifferential(t, job.Scenario, job.Options, cache)
+	}
+}
+
+// TestDifferentialDefectSweep extends the equivalence proof to the
+// per-feature defect axis and the driver-schedule perturbations of the
+// DefectSweep preset.
+func TestDifferentialDefectSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the DefectSweep variants differentially")
+	}
+	sw := DefectSweep()
+	for i := range sw.Families {
+		sw.Families[i].Base.Duration = 1 * time.Second
+	}
+	cache := make(suiteCache)
+	src := sw.Source()
+	runs := 0
+	for {
+		job, ok := src.Next()
+		if !ok {
+			break
+		}
+		runDifferential(t, job.Scenario, job.Options, cache)
+		runs++
+	}
+	if runs != sw.Size() {
+		t.Fatalf("differential defect sweep executed %d variants, want %d", runs, sw.Size())
 	}
 }

@@ -262,8 +262,14 @@ func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) err
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Each worker owns a suite cache: the monitoring plan is compiled
+			// into a shared evaluation program once per tolerance per worker
+			// and Reset between runs, instead of rebuilding 30+ monitors for
+			// every sweep variant.  (Only summary-only runs reuse suites; a
+			// retained suite belongs to its Result.)
+			cache := make(suiteCache)
 			for t := range tasks {
-				res := runJob(t.job.Scenario, t.job.Options, e.retention)
+				res := runJobCached(t.job.Scenario, t.job.Options, e.retention, cache)
 				results <- StreamResult{Index: t.idx, Job: t.job, Result: res}
 			}
 		}()

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/vehicle"
 )
 
 // shortSweep builds a small sweep of short-duration scenario-7 variants so
@@ -299,6 +301,7 @@ func TestSweepPresets(t *testing.T) {
 		want int
 	}{
 		{"default", 120}, {"", 120}, {"wide", 360}, {"huge", 1296},
+		{"tolerance", 30}, {"defects", 120},
 	} {
 		sw, err := SweepBySize(tc.name)
 		if err != nil {
@@ -312,18 +315,89 @@ func TestSweepPresets(t *testing.T) {
 		t.Error("unknown preset should be an error")
 	}
 	// Preset variant names must be unique — the regression that motivated
-	// deriving labels from the full Options value.
-	sw, _ := SweepBySize("huge")
-	names := make(map[string]bool, sw.Size())
-	for src := sw.Source(); ; {
-		j, ok := src.Next()
-		if !ok {
-			break
+	// deriving labels from the full Options value.  The defects preset
+	// additionally covers the defect-set and driver-schedule name parts.
+	for _, preset := range []string{"huge", "defects"} {
+		sw, _ := SweepBySize(preset)
+		names := make(map[string]bool, sw.Size())
+		for src := sw.Source(); ; {
+			j, ok := src.Next()
+			if !ok {
+				break
+			}
+			if names[j.Scenario.Name] {
+				t.Fatalf("%s preset: duplicate variant name %q", preset, j.Scenario.Name)
+			}
+			names[j.Scenario.Name] = true
 		}
-		if names[j.Scenario.Name] {
-			t.Fatalf("duplicate variant name %q", j.Scenario.Name)
+	}
+}
+
+// TestDefectSetAxis checks the per-feature defect axis end to end: the axis
+// overrides each option set's Defects, the variants carry distinct names, and
+// correcting a single subsystem actually changes that subsystem's seeded
+// behaviour in the built simulation.
+func TestDefectSetAxis(t *testing.T) {
+	base, _ := ScenarioByNumber(1)
+	f := Family{
+		Base:       base,
+		DefectSets: []DefectSet{{}, {CorrectCA: true}, {CorrectArbiter: true}},
+	}
+	jobs := f.Variants()
+	if len(jobs) != 3 || f.Size() != 3 {
+		t.Fatalf("defect axis produced %d variants (Size %d), want 3", len(jobs), f.Size())
+	}
+	if jobs[0].Options.Defects != (DefectSet{}) ||
+		jobs[1].Options.Defects != (DefectSet{CorrectCA: true}) ||
+		jobs[2].Options.Defects != (DefectSet{CorrectArbiter: true}) {
+		t.Fatalf("defect axis did not override Options.Defects: %+v", jobs)
+	}
+	if jobs[0].Scenario.Name == jobs[1].Scenario.Name {
+		t.Fatalf("defect variants share the name %q", jobs[0].Scenario.Name)
+	}
+
+	// CorrectDefects still wins over a partial set: the all-corrected run of
+	// scenario 2 avoids the collision that the seeded system hits.
+	sc2, _ := ScenarioByNumber(2)
+	sc2.Duration = 20 * time.Second
+	res := runJob(sc2, Options{CorrectDefects: true, Defects: DefectSet{CorrectCA: true}}, SummaryOnly)
+	if res.Collision {
+		t.Error("CorrectDefects must correct every subsystem regardless of Options.Defects")
+	}
+}
+
+// TestDriverScheduleAxis checks the driver-perturbation axis: each variant
+// runs a distinct schedule under a distinct name, and a shifted schedule
+// actually shifts the run's behaviour.
+func TestDriverScheduleAxis(t *testing.T) {
+	base, _ := ScenarioByNumber(3)
+	shifted := ShiftSchedule(base.Driver, 250*time.Millisecond)
+	if shifted[1].At != base.Driver[1].At+250*time.Millisecond {
+		t.Fatalf("ShiftSchedule moved action to %v, want %v", shifted[1].At, base.Driver[1].At+250*time.Millisecond)
+	}
+	if base.Driver[1].At == shifted[1].At {
+		t.Fatal("ShiftSchedule must copy, not alias, the schedule")
+	}
+
+	f := Family{Base: base, Drivers: [][]vehicle.DriverAction{base.Driver, shifted}}
+	jobs := f.Variants()
+	if len(jobs) != 2 || f.Size() != 2 {
+		t.Fatalf("driver axis produced %d variants (Size %d), want 2", len(jobs), f.Size())
+	}
+	if jobs[0].Scenario.Name == jobs[1].Scenario.Name {
+		t.Fatalf("driver variants share the name %q", jobs[0].Scenario.Name)
+	}
+	if &jobs[1].Scenario.Driver[0] != &shifted[0] {
+		t.Error("variant 1 should carry the shifted schedule")
+	}
+
+	// ShiftSchedule clamps at zero so a negative shift cannot schedule
+	// actions before the start of the run.
+	early := ShiftSchedule(base.Driver, -time.Hour)
+	for _, a := range early {
+		if a.At < 0 {
+			t.Fatalf("negative shift produced action at %v", a.At)
 		}
-		names[j.Scenario.Name] = true
 	}
 }
 
@@ -334,9 +408,7 @@ func TestSweepPresets(t *testing.T) {
 func TestOptionsLabelCoversAllFields(t *testing.T) {
 	base := Options{}
 	rt := reflect.TypeOf(base)
-	for i := 0; i < rt.NumField(); i++ {
-		mod := base
-		fv := reflect.ValueOf(&mod).Elem().Field(i)
+	flip := func(fv reflect.Value) bool {
 		switch fv.Kind() {
 		case reflect.Bool:
 			fv.SetBool(!fv.Bool())
@@ -347,10 +419,36 @@ func TestOptionsLabelCoversAllFields(t *testing.T) {
 		case reflect.String:
 			fv.SetString(fv.String() + "x")
 		default:
-			t.Fatalf("Options field %s has kind %s: extend this test's flip table", rt.Field(i).Name, fv.Kind())
+			return false
+		}
+		return true
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		mod := base
+		fv := reflect.ValueOf(&mod).Elem().Field(i)
+		if fv.Kind() == reflect.Struct {
+			// Struct-valued options (e.g. Defects): every leaf field must
+			// independently change the label.
+			for j := 0; j < fv.NumField(); j++ {
+				sub := base
+				sv := reflect.ValueOf(&sub).Elem().Field(i).Field(j)
+				if !flip(sv) {
+					t.Fatalf("Options field %s.%s has kind %s: extend this test's flip table",
+						name, fv.Type().Field(j).Name, sv.Kind())
+				}
+				if sub.Label() == base.Label() {
+					t.Errorf("Options.Label() ignores field %s.%s: label %q collides",
+						name, fv.Type().Field(j).Name, base.Label())
+				}
+			}
+			continue
+		}
+		if !flip(fv) {
+			t.Fatalf("Options field %s has kind %s: extend this test's flip table", name, fv.Kind())
 		}
 		if mod.Label() == base.Label() {
-			t.Errorf("Options.Label() ignores field %s: label %q collides", rt.Field(i).Name, base.Label())
+			t.Errorf("Options.Label() ignores field %s: label %q collides", name, base.Label())
 		}
 	}
 }

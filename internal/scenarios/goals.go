@@ -267,13 +267,10 @@ func vehicleLevelMonitored(goalName string) bool {
 }
 
 // MonitorSpec is one monitor placement: a goal or subgoal and the hierarchy
-// level it is monitored at.
-type MonitorSpec struct {
-	// Goal is the monitored goal.
-	Goal goals.Goal
-	// Location is the monitoring location (one of MonitorLocations).
-	Location string
-}
+// level it is monitored at (one of MonitorLocations).  It is the same shape
+// the monitor package consumes, so a plan feeds both the per-monitor and the
+// compiled suite builders without conversion.
+type MonitorSpec = monitor.GoalAt
 
 // HierarchySpec is one row group of Table 5.3: a system safety goal with its
 // Arbiter- and feature-level subgoal monitors.
@@ -326,21 +323,27 @@ func MonitoringPlan() []HierarchySpec {
 // through Options.MatchTolerance / Family.Tolerances.
 const matchTolerance = 150
 
-// BuildSuite instantiates the monitoring plan as run-time monitors with the
-// default matching tolerance.  Monitor atoms resolve their state-variable
-// slots on the first observed state; runners that know the scenario's bus
-// should prefer BuildSuiteWithSchema.
+// BuildSuite instantiates the monitoring plan as individual per-monitor
+// steppers with the default matching tolerance.  Monitor atoms resolve their
+// state-variable slots on the first observed state.  It is the per-monitor
+// reference implementation; the evaluation paths use BuildSuiteWithSchema,
+// which compiles the whole plan into one shared program.
 func BuildSuite(period time.Duration) *monitor.Suite {
 	return buildSuite(period, nil, matchTolerance)
 }
 
-// BuildSuiteWithSchema instantiates the monitoring plan compiled against the
-// scenario's symbol table (typically sim.Bus.Schema()), so every goal atom
-// is a register-slot load from the first observed state onward.
-func BuildSuiteWithSchema(period time.Duration, schema *temporal.Schema) *monitor.Suite {
-	return buildSuite(period, schema, matchTolerance)
+// BuildSuiteWithSchema compiles the full monitoring plan into one shared
+// evaluation program (suite-level CSE over every goal and subgoal formula)
+// against the scenario's symbol table (typically sim.Bus.Schema()): the ~30
+// overlapping formulas of Table 5.3 are evaluated in a single pass per state,
+// with each shared atom read once.  The returned suite is reusable across
+// runs via Reset.
+func BuildSuiteWithSchema(period time.Duration, schema *temporal.Schema) *monitor.CompiledSuite {
+	return buildCompiledSuite(period, schema, matchTolerance)
 }
 
+// buildSuite instantiates the plan as individual monitors — the per-monitor
+// reference the differential tests compare the compiled program against.
 func buildSuite(period time.Duration, schema *temporal.Schema, tolerance int) *monitor.Suite {
 	if tolerance <= 0 {
 		tolerance = matchTolerance
@@ -355,6 +358,19 @@ func buildSuite(period time.Duration, schema *temporal.Schema, tolerance int) *m
 		suite.Add(monitor.NewHierarchy(parent, tolerance, children...))
 	}
 	return suite
+}
+
+// buildCompiledSuite compiles the plan into one shared program with the given
+// matching tolerance (non-positive selects the default).
+func buildCompiledSuite(period time.Duration, schema *temporal.Schema, tolerance int) *monitor.CompiledSuite {
+	if tolerance <= 0 {
+		tolerance = matchTolerance
+	}
+	cs := monitor.NewCompiledSuite(period, schema)
+	for _, spec := range MonitoringPlan() {
+		cs.MustAddHierarchy(spec.Parent, tolerance, spec.Children...)
+	}
+	return cs
 }
 
 // RenderTable5_3 renders the monitoring-location matrix of Table 5.3: one

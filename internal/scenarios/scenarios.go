@@ -57,7 +57,9 @@ type Result struct {
 	// Trace is the recorded state trace (nil under SummaryOnly retention).
 	Trace *temporal.Trace
 	// Suite holds the goal and subgoal monitors after the run (nil under
-	// SummaryOnly retention).
+	// SummaryOnly retention).  Its monitors are program-fed interval
+	// recorders: classification and reporting work as always, but they
+	// cannot Observe further states themselves.
 	Suite *monitor.Suite
 	// Detections are the classified correspondences per system goal (nil
 	// under SummaryOnly retention).
@@ -201,6 +203,51 @@ func ScenarioByNumber(n int) (Scenario, bool) {
 	return Scenario{}, false
 }
 
+// DefectSet selects which feature subsystems run with their seeded defects
+// corrected.  The zero value corrects nothing — every thesis defect stays in
+// place — and setting a field removes that subsystem's defects only, so a
+// sweep can attribute the observed violation structure to individual
+// subsystems instead of the all-or-nothing CorrectDefects ablation.
+type DefectSet struct {
+	// CorrectCA makes CA brake continuously instead of intermittently.
+	CorrectCA bool
+	// CorrectRCA lets RCA engage in reverse.
+	CorrectRCA bool
+	// CorrectACC restricts ACC to controlling only while engaged, only in
+	// forward gear, and without the LCA-interaction deceleration defect.
+	CorrectACC bool
+	// CorrectPA silences Park Assist while it is disabled.
+	CorrectPA bool
+	// CorrectArbiter gives the Arbiter a single consistent priority order
+	// with an immediate driver-override check and a faithful PA command.
+	CorrectArbiter bool
+}
+
+// AllDefectsCorrected is the DefectSet equivalent of CorrectDefects.
+var AllDefectsCorrected = DefectSet{
+	CorrectCA: true, CorrectRCA: true, CorrectACC: true, CorrectPA: true, CorrectArbiter: true,
+}
+
+// label renders the corrected subsystems compactly for variant names.
+func (d DefectSet) label() string {
+	if d == (DefectSet{}) {
+		return "none"
+	}
+	var parts []string
+	for _, p := range []struct {
+		on   bool
+		name string
+	}{
+		{d.CorrectCA, "CA"}, {d.CorrectRCA, "RCA"}, {d.CorrectACC, "ACC"},
+		{d.CorrectPA, "PA"}, {d.CorrectArbiter, "Arbiter"},
+	} {
+		if p.on {
+			parts = append(parts, p.name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
 // Options configures a scenario run beyond the scenario definition itself.
 type Options struct {
 	// CorrectDefects removes every seeded defect from the feature
@@ -213,6 +260,12 @@ type Options struct {
 	// documented defects rather than from the monitoring approach.
 	CorrectDefects bool
 
+	// Defects corrects individual subsystems' seeded defects (the zero
+	// value corrects none).  CorrectDefects takes precedence: when it is
+	// set, every subsystem is corrected regardless of this field.  Sweeps
+	// vary it through Family.DefectSets.
+	Defects DefectSet
+
 	// MatchTolerance overrides the hit-matching window, in states, used
 	// when deciding whether a subgoal violation corresponds to a system
 	// goal violation (0 uses the default of 150).  Sweeping it shows how
@@ -220,6 +273,14 @@ type Options struct {
 	// to the assumed observation and actuation delays between hierarchy
 	// levels.
 	MatchTolerance int
+}
+
+// defects resolves the effective per-subsystem correction set.
+func (o Options) defects() DefectSet {
+	if o.CorrectDefects {
+		return AllDefectsCorrected
+	}
+	return o.Defects
 }
 
 // tolerance resolves the effective hit-matching window.
@@ -241,6 +302,8 @@ func (o Options) Label() string {
 	b.WriteString(strconv.FormatBool(o.CorrectDefects))
 	b.WriteString(",tol=")
 	b.WriteString(strconv.Itoa(o.MatchTolerance))
+	b.WriteString(",fixed=")
+	b.WriteString(o.Defects.label())
 	return b.String()
 }
 
@@ -300,13 +363,22 @@ func NewSimulation(sc Scenario, opts Options) *sim.Simulation {
 	acc.EngageWithoutChecks = !sc.ACCDirectionCheck
 	pa := vehicle.NewParkAssist()
 	arbiter := vehicle.NewArbiter()
-	if opts.CorrectDefects {
+	correct := opts.defects()
+	if correct.CorrectCA {
 		ca.IntermittentBraking = false
+	}
+	if correct.CorrectRCA {
 		rca.NeverEngages = false
+	}
+	if correct.CorrectACC {
 		acc.ControlWhenNotEngaged = false
 		acc.EngageWithoutChecks = false
 		acc.DecelWhileLCA = false
+	}
+	if correct.CorrectPA {
 		pa.SpuriousRequests = false
+	}
+	if correct.CorrectArbiter {
 		arbiter.ReversedSteeringPriority = false
 		arbiter.SteeringStageOverridesAccel = false
 		arbiter.EnabledFeaturesJoinSteering = false
@@ -331,17 +403,49 @@ func NewSimulation(sc Scenario, opts Options) *sim.Simulation {
 	return s
 }
 
-// runJob executes one scenario under the given trace-retention policy.  It is
-// the single execution path shared by RunWithOptions and the streaming
-// Engine; under SummaryOnly the simulation records no trace at all (the
-// monitors observe the live bus state), so a run allocates O(1) retained
-// state instead of O(steps).  The monitor suite is compiled against the
-// run's schema, so every goal atom reads its register slot directly.
+// suiteCache reuses compiled monitor suites across the runs executed by one
+// worker, keyed by the effective hit-matching tolerance (the only option that
+// changes the suite's structure).  A sweep worker therefore compiles the
+// ~30-formula monitoring plan once per tolerance instead of once per variant;
+// each reuse Resets the program and re-resolves its atoms against the next
+// run's schema on the first observation.  A cache is owned by a single
+// goroutine and must never be shared.
+type suiteCache map[int]*monitor.CompiledSuite
+
+// runJob executes one scenario under the given trace-retention policy,
+// compiling a fresh monitor suite for the run.
 func runJob(sc Scenario, opts Options, retention Retention) Result {
+	return runJobCached(sc, opts, retention, nil)
+}
+
+// runJobCached is runJob with an optional per-worker suite cache.  It is the
+// single execution path shared by RunWithOptions and the streaming Engine;
+// under SummaryOnly the simulation records no trace at all (the suite
+// observes the live bus state), so a run allocates O(1) retained state
+// instead of O(steps).  The whole monitoring plan is evaluated as one shared
+// program (suite-level CSE across every goal and subgoal formula), registered
+// with the simulation as a single observer.
+func runJobCached(sc Scenario, opts Options, retention Retention, cache suiteCache) Result {
 	s := NewSimulation(sc, opts)
 
-	suite := buildSuite(Period, s.Bus.Schema(), opts.tolerance())
-	s.OnStep(func(_ time.Duration, st temporal.State) { suite.Observe(st) })
+	tol := opts.tolerance()
+	var suite *monitor.CompiledSuite
+	// Reuse is only sound when the Result does not retain the suite: a
+	// KeepTrace result hands its suite to the caller, so a later run must
+	// not Reset it.
+	if cache != nil && retention == SummaryOnly {
+		if cached, ok := cache[tol]; ok {
+			cached.Reset()
+			suite = cached
+		}
+	}
+	if suite == nil {
+		suite = buildCompiledSuite(Period, s.Bus.Schema(), tol)
+		if cache != nil && retention == SummaryOnly {
+			cache[tol] = suite
+		}
+	}
+	s.Observe(suite)
 	collision := s.Bus.Schema().Intern(vehicle.SigCollision)
 	s.StopWhen(func(_ time.Duration, st temporal.State) bool {
 		return st.Slot(collision).AsBool()
@@ -376,7 +480,7 @@ func runJob(sc Scenario, opts Options, retention Retention) Result {
 	}
 	if retention != SummaryOnly {
 		out.Trace = trace
-		out.Suite = suite
+		out.Suite = suite.Suite()
 		out.Detections = detections
 	}
 	return out

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/vehicle"
 )
 
 // Family derives parameterized variants of a base scenario.  Each non-empty
@@ -39,6 +41,16 @@ type Family struct {
 	// false-negative / false-positive classification shifts with the
 	// assumed inter-level observation and actuation delays.
 	Tolerances []int
+	// DefectSets enumerates per-feature defect-correction subsets (see
+	// Options.Defects).  Like Tolerances it cross-products with OptionSets,
+	// overriding each option set's Defects, so one sweep can attribute the
+	// violation structure to individual subsystems rather than only the
+	// all-or-nothing CorrectDefects ablation.
+	DefectSets []DefectSet
+	// Drivers enumerates driver/HMI input schedules replacing the base
+	// scenario's Driver — e.g. time-shifted or pruned perturbations of the
+	// original schedule (see ShiftSchedule).
+	Drivers [][]vehicle.DriverAction
 }
 
 // Size returns the number of variants the family generates.
@@ -47,6 +59,7 @@ func (f Family) Size() int {
 	for _, axis := range []int{
 		len(f.InitialSpeeds), len(f.ObjectDistances), len(f.ObjectSpeeds),
 		len(f.Gears), len(f.OptionSets), len(f.Tolerances),
+		len(f.DefectSets), len(f.Drivers),
 	} {
 		if axis > 0 {
 			n *= axis
@@ -55,43 +68,78 @@ func (f Family) Size() int {
 	return n
 }
 
+// familyAxes is the resolved form of a Family: every axis substituted with
+// its effective values, placeholders standing in for empty axes.
+type familyAxes struct {
+	speeds, distances, objSpeeds []float64
+	gears                        []string
+	optionSets                   []Options
+	tolerances                   []int
+	// defectSets entries override the option set's Defects; a nil entry (the
+	// empty-axis placeholder) keeps it.  A pointer is needed because the zero
+	// DefectSet is itself meaningful ("correct nothing").
+	defectSets []*DefectSet
+	// drivers holds indices into Family.Drivers; -1 (the empty-axis
+	// placeholder) keeps the base schedule.
+	drivers []int
+}
+
 // axes resolves every axis to its effective values, substituting the base
 // value for empty axes.
-func (f Family) axes() (speeds, distances, objSpeeds []float64, gears []string, optionSets []Options, tolerances []int) {
-	speeds = f.InitialSpeeds
-	if len(speeds) == 0 {
-		speeds = []float64{f.Base.InitialSpeed}
+func (f Family) axes() familyAxes {
+	a := familyAxes{
+		speeds:     f.InitialSpeeds,
+		distances:  f.ObjectDistances,
+		objSpeeds:  f.ObjectSpeeds,
+		gears:      f.Gears,
+		optionSets: f.OptionSets,
+		tolerances: f.Tolerances,
 	}
-	distances = f.ObjectDistances
-	if len(distances) == 0 {
-		distances = []float64{f.Base.ObjectDistance}
+	if len(a.speeds) == 0 {
+		a.speeds = []float64{f.Base.InitialSpeed}
 	}
-	objSpeeds = f.ObjectSpeeds
-	if len(objSpeeds) == 0 {
-		objSpeeds = []float64{f.Base.ObjectSpeed}
+	if len(a.distances) == 0 {
+		a.distances = []float64{f.Base.ObjectDistance}
 	}
-	gears = f.Gears
-	if len(gears) == 0 {
-		gears = []string{f.Base.Gear}
+	if len(a.objSpeeds) == 0 {
+		a.objSpeeds = []float64{f.Base.ObjectSpeed}
 	}
-	optionSets = f.OptionSets
-	if len(optionSets) == 0 {
-		optionSets = []Options{{}}
+	if len(a.gears) == 0 {
+		a.gears = []string{f.Base.Gear}
 	}
-	tolerances = f.Tolerances
-	if len(tolerances) == 0 {
-		tolerances = []int{0}
+	if len(a.optionSets) == 0 {
+		a.optionSets = []Options{{}}
 	}
-	return speeds, distances, objSpeeds, gears, optionSets, tolerances
+	if len(a.tolerances) == 0 {
+		a.tolerances = []int{0}
+	}
+	if len(f.DefectSets) == 0 {
+		a.defectSets = []*DefectSet{nil}
+	} else {
+		a.defectSets = make([]*DefectSet, len(f.DefectSets))
+		for i := range f.DefectSets {
+			a.defectSets[i] = &f.DefectSets[i]
+		}
+	}
+	if len(f.Drivers) == 0 {
+		a.drivers = []int{-1}
+	} else {
+		a.drivers = make([]int, len(f.Drivers))
+		for i := range a.drivers {
+			a.drivers[i] = i
+		}
+	}
+	return a
 }
 
 // variantName builds the variant identifier for one parameter assignment.
 // It runs once per variant in the sweep-setup hot path, so it is built with
 // strconv and a strings.Builder rather than fmt.  The options label covers
-// every Options field, so option sets differing in any field never collide.
-func variantName(base string, speed, dist, objSpeed float64, gear string, opts Options) string {
+// every Options field, so option sets differing in any field never collide;
+// the driver-schedule index appears only when the family sweeps schedules.
+func variantName(base string, speed, dist, objSpeed float64, gear string, driver int, opts Options) string {
 	var b strings.Builder
-	b.Grow(len(base) + len(gear) + 64)
+	b.Grow(len(base) + len(gear) + 80)
 	b.WriteString(base)
 	b.WriteString("/speed=")
 	b.WriteString(strconv.FormatFloat(speed, 'g', -1, 64))
@@ -101,6 +149,10 @@ func variantName(base string, speed, dist, objSpeed float64, gear string, opts O
 	b.WriteString(strconv.FormatFloat(objSpeed, 'g', -1, 64))
 	b.WriteString(",gear=")
 	b.WriteString(gear)
+	if driver >= 0 {
+		b.WriteString(",driver=")
+		b.WriteString(strconv.Itoa(driver))
+	}
 	b.WriteByte(',')
 	b.WriteString(opts.Label())
 	return b.String()
@@ -108,17 +160,25 @@ func variantName(base string, speed, dist, objSpeed float64, gear string, opts O
 
 // variantAt materializes the variant for one axis-index assignment.  A
 // positive tolerance overrides the option set's MatchTolerance; zero (the
-// placeholder of an empty Tolerances axis) keeps it.
-func (f Family) variantAt(speed, dist, objSpeed float64, gear string, opts Options, tol int) Job {
+// placeholder of an empty Tolerances axis) keeps it.  A non-nil defect set
+// overrides the option set's Defects, and a non-negative driver index
+// replaces the base driver schedule.
+func (f Family) variantAt(speed, dist, objSpeed float64, gear string, opts Options, tol int, defects *DefectSet, driver int) Job {
 	if tol > 0 {
 		opts.MatchTolerance = tol
+	}
+	if defects != nil {
+		opts.Defects = *defects
 	}
 	sc := f.Base
 	sc.InitialSpeed = speed
 	sc.ObjectDistance = dist
 	sc.ObjectSpeed = objSpeed
 	sc.Gear = gear
-	sc.Name = variantName(f.Base.Name, speed, dist, objSpeed, gear, opts)
+	if driver >= 0 {
+		sc.Driver = f.Drivers[driver]
+	}
+	sc.Name = variantName(f.Base.Name, speed, dist, objSpeed, gear, driver, opts)
 	return Job{Scenario: sc, Options: opts}
 }
 
@@ -144,19 +204,23 @@ func (f Family) Variants() []Job {
 // built on demand — an odometer over the axis indices — so a sweep of any
 // size holds O(1) jobs in memory.
 func (f Family) Source() JobSource {
-	speeds, distances, objSpeeds, gears, optionSets, tolerances := f.axes()
+	a := f.axes()
 	// idx is the odometer, least-significant axis last (matching the
 	// nesting order of the original expansion loop).
-	var idx [6]int
-	dims := [6]int{len(speeds), len(distances), len(objSpeeds), len(gears), len(optionSets), len(tolerances)}
+	var idx [8]int
+	dims := [8]int{
+		len(a.speeds), len(a.distances), len(a.objSpeeds), len(a.gears),
+		len(a.optionSets), len(a.tolerances), len(a.defectSets), len(a.drivers),
+	}
 	done := false
 	return SourceFunc(func() (Job, bool) {
 		if done {
 			return Job{}, false
 		}
 		j := f.variantAt(
-			speeds[idx[0]], distances[idx[1]], objSpeeds[idx[2]],
-			gears[idx[3]], optionSets[idx[4]], tolerances[idx[5]],
+			a.speeds[idx[0]], a.distances[idx[1]], a.objSpeeds[idx[2]],
+			a.gears[idx[3]], a.optionSets[idx[4]], a.tolerances[idx[5]],
+			a.defectSets[idx[6]], a.drivers[idx[7]],
 		)
 		for axis := len(idx) - 1; ; axis-- {
 			idx[axis]++
@@ -349,9 +413,57 @@ func ToleranceSweep() Sweep {
 	return Sweep{Families: families}
 }
 
+// ShiftSchedule returns a copy of a driver schedule with every action time
+// shifted by delta (clamped at zero), for building driver-perturbation axes:
+// the same inputs arriving earlier or later probe how sensitive the observed
+// violation structure is to input timing relative to the seeded defects.
+func ShiftSchedule(schedule []vehicle.DriverAction, delta time.Duration) []vehicle.DriverAction {
+	out := make([]vehicle.DriverAction, len(schedule))
+	copy(out, schedule)
+	for i := range out {
+		out[i].At += delta
+		if out[i].At < 0 {
+			out[i].At = 0
+		}
+	}
+	return out
+}
+
+// DefectSweep evaluates per-feature defect subsets across the ten thesis
+// scenarios: each scenario runs with all defects seeded and with each
+// subsystem's defects corrected in isolation (CA, RCA, ACC, PA, Arbiter),
+// under both the original driver schedule and a 250 ms-delayed perturbation
+// of it — 120 variants attributing the hit / false-negative / false-positive
+// structure to individual subsystems rather than the all-or-nothing
+// CorrectDefects ablation.
+func DefectSweep() Sweep {
+	sets := []DefectSet{
+		{},
+		{CorrectCA: true},
+		{CorrectRCA: true},
+		{CorrectACC: true},
+		{CorrectPA: true},
+		{CorrectArbiter: true},
+	}
+	bases := Scenarios()
+	families := make([]Family, 0, len(bases))
+	for _, base := range bases {
+		families = append(families, Family{
+			Base:       base,
+			DefectSets: sets,
+			Drivers: [][]vehicle.DriverAction{
+				base.Driver,
+				ShiftSchedule(base.Driver, 250*time.Millisecond),
+			},
+		})
+	}
+	return Sweep{Families: families}
+}
+
 // SweepBySize returns the named sweep preset: "default" (120 variants),
-// "wide" (360), "huge" (1296) or "tolerance" (30, varying the hit-matching
-// window).
+// "wide" (360), "huge" (1296), "tolerance" (30, varying the hit-matching
+// window) or "defects" (120, per-feature defect subsets under perturbed
+// driver schedules).
 func SweepBySize(name string) (Sweep, error) {
 	switch name {
 	case "", "default":
@@ -362,7 +474,9 @@ func SweepBySize(name string) (Sweep, error) {
 		return HugeSweep(), nil
 	case "tolerance":
 		return ToleranceSweep(), nil
+	case "defects":
+		return DefectSweep(), nil
 	default:
-		return Sweep{}, fmt.Errorf("unknown sweep size %q (want default, wide, huge or tolerance)", name)
+		return Sweep{}, fmt.Errorf("unknown sweep size %q (want default, wide, huge, tolerance or defects)", name)
 	}
 }

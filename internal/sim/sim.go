@@ -215,6 +215,20 @@ func (s *Simulation) OnStep(fn func(now time.Duration, state temporal.State)) {
 	s.observers = append(s.observers, fn)
 }
 
+// StateObserver consumes each committed state of a run.  A whole monitor
+// suite compiled to a shared evaluation program (monitor.CompiledSuite) is
+// one StateObserver: the simulation hands it each state once and the program
+// fans the verdicts out to every monitor internally.
+type StateObserver interface {
+	Observe(state temporal.State)
+}
+
+// Observe registers a StateObserver as a single observer of every committed
+// state.
+func (s *Simulation) Observe(obs StateObserver) {
+	s.OnStep(func(_ time.Duration, st temporal.State) { obs.Observe(st) })
+}
+
 // StopWhen registers an early-termination predicate evaluated on the
 // committed state after every step; the thesis' scenarios terminate early
 // when the simulated vehicle model faults.
