@@ -28,7 +28,8 @@
 //
 //	scenarios [-n number] [-detail] [-table53] [-goals] [-corrected]
 //	          [-workers n] [-timeout d] [-sweep] [-sweep-size s]
-//	          [-json] [-stream] [-cpuprofile f] [-memprofile f]
+//	          [-json] [-stream] [-cache-stats]
+//	          [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -124,6 +125,7 @@ func run(args []string, w io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "bound the whole evaluation; on expiry in-flight runs drain and the partial aggregate is reported (0 = no bound)")
 	sweep := fs.Bool("sweep", false, "evaluate a parameter sweep instead of the ten fixed scenarios")
 	sweepSize := fs.String("sweep-size", "default", "sweep grid preset: default (120 variants), wide (360, adds object speeds), huge (1296, adds speeds, distances and gears where meaningful), tolerance (30, varies the hit-matching window) or defects (120, per-feature defect subsets under perturbed driver schedules)")
+	cacheStats := fs.Bool("cache-stats", false, "memoize summary-only results by variant label (Engine result cache) and report the hit/miss counters on stderr after the run")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary instead of the rendered tables")
 	stream := fs.Bool("stream", false, "emit NDJSON: one line per completed run, then a final aggregate line")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the evaluation to this file (inspect with go tool pprof)")
@@ -135,6 +137,9 @@ func run(args []string, w io.Writer) error {
 
 	if (*asJSON || *stream) && (*table53 || *showGoals) {
 		return fmt.Errorf("-json/-stream cannot be combined with -table53 or -goals: the rendered tables would corrupt the output stream")
+	}
+	if *cacheStats && !*sweep && !*asJSON && !*stream {
+		return fmt.Errorf("-cache-stats requires -sweep, -json or -stream: rendered-table runs retain full traces and never consult the summary-only result cache")
 	}
 
 	// Profiling hooks, so sweep hot spots can be inspected without editing
@@ -234,10 +239,22 @@ func run(args []string, w io.Writer) error {
 	if rendered {
 		retention = scenarios.KeepTrace
 	}
-	engine := scenarios.NewEngine(
+	engineOpts := []scenarios.EngineOption{
 		scenarios.WithWorkers(*workers),
 		scenarios.WithRetention(retention),
-	)
+	}
+	if *cacheStats {
+		engineOpts = append(engineOpts, scenarios.WithResultCache())
+	}
+	engine := scenarios.NewEngine(engineOpts...)
+	if *cacheStats {
+		// The counters are reported however the evaluation path returns, on
+		// stderr so they never corrupt -json/-stream output.
+		defer func() {
+			hits, misses := engine.CacheStats()
+			fmt.Fprintf(os.Stderr, "result cache: %d hits, %d misses\n", hits, misses)
+		}()
+	}
 
 	var acc scenarios.Accumulator
 

@@ -11,16 +11,30 @@
 // Chapter 4 distributed elevator and the Chapter 5 semi-autonomous vehicle
 // with its ten evaluation scenarios.
 //
-// State is slot-indexed: each scenario run owns a temporal.Schema (an
-// interned name → slot symbol table) and a temporal.State is a dense
-// register file over it, so a bus commit is a slice copy, a snapshot is a
-// slice clone, and goal monitors compiled with temporal.CompileWithSchema
-// evaluate their atoms as array loads — no string hashing anywhere on the
-// per-step path.  Components address signals through typed handles
-// (sim.Bus.NumVar/BoolVar/StringVar); the name-keyed bus and state APIs
-// remain as the schema-resolving compatibility path, and differential tests
-// prove the slot-indexed and string-keyed evaluations produce identical
-// detections across the full evaluation.
+// State is slot-indexed and stored as struct-of-arrays planes: each scenario
+// run owns a temporal.Schema (an interned name → slot symbol table, plus an
+// interned enumeration-string table) and a temporal.State keeps its slots as
+// a kind plane, a []float64 number plane, a packed boolean bit plane and a
+// small-int enumeration plane.  A bus commit is a few pointer-free memmoves
+// (~13 bytes per slot, no GC write barriers), a snapshot clones the planes,
+// and goal monitors compiled with temporal.CompileWithSchema evaluate their
+// atoms directly on the planes — a numeric comparison is one float compare,
+// equality against an enumeration constant one int compare, and no string is
+// hashed or Value constructed anywhere on the per-step path.  Components
+// address signals through typed handles (sim.Bus.NumVar/BoolVar/StringVar);
+// the name-keyed bus and state APIs remain as the schema-resolving
+// compatibility path, and differential tests prove the plane-backed and
+// string-keyed evaluations produce identical detections across the full
+// evaluation.
+//
+// Whole runs are reusable: sim.Simulation.Reset rewinds the bus planes
+// without re-interning and restores every component implementing
+// sim.Resetter to its initial conditions, so an Engine worker executes its
+// sweep variants on a run arena — one schema, bus, component set and one
+// compiled program per tolerance — and the steady state of a summary-only
+// sweep allocates nothing per simulation step (gated by
+// testing.AllocsPerRun regression tests, with before/after numbers recorded
+// in README.md and BENCH_5.json).
 //
 // Monitoring is evaluated as one composed artifact: temporal.Program
 // compiles every goal and subgoal formula of a monitor suite into a single

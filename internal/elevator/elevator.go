@@ -111,6 +111,13 @@ type Drive struct {
 // Name implements sim.Component.
 func (d *Drive) Name() string { return "Drive" }
 
+// Reset implements sim.Resetter: the car returns to rest at the bottom
+// landing.
+func (d *Drive) Reset() {
+	d.speed = 0
+	d.position = 0
+}
+
 // Step implements sim.Component.
 func (d *Drive) Step(_ time.Duration, bus *sim.Bus) {
 	v := d.on(bus)
@@ -172,6 +179,13 @@ type DoorMotor struct {
 // Name implements sim.Component.
 func (m *DoorMotor) Name() string { return "DoorMotor" }
 
+// Reset implements sim.Resetter: the door re-latches its StartClosed initial
+// position on the next first step.
+func (m *DoorMotor) Reset() {
+	m.position = 0
+	m.started = false
+}
+
 // Step implements sim.Component.
 func (m *DoorMotor) Step(_ time.Duration, bus *sim.Bus) {
 	v := m.on(bus)
@@ -215,6 +229,9 @@ type DispatchController struct {
 // Name implements sim.Component.
 func (c *DispatchController) Name() string { return "DispatchController" }
 
+// Reset implements sim.Resetter: pending destinations are forgotten.
+func (c *DispatchController) Reset() { c.target = 0 }
+
 // Step implements sim.Component.
 func (c *DispatchController) Step(_ time.Duration, bus *sim.Bus) {
 	v := c.on(bus)
@@ -252,6 +269,10 @@ type DriveController struct {
 
 // Name implements sim.Component.
 func (c *DriveController) Name() string { return "DriveController" }
+
+// Reset implements sim.Resetter: the controller is stateless beyond its
+// seeded-defect configuration, which survives a reset.
+func (c *DriveController) Reset() {}
 
 // Step implements sim.Component.
 func (c *DriveController) Step(_ time.Duration, bus *sim.Bus) {
@@ -308,6 +329,12 @@ type DoorController struct {
 
 // Name implements sim.Component.
 func (c *DoorController) Name() string { return "DoorController" }
+
+// Reset implements sim.Resetter.
+func (c *DoorController) Reset() {
+	c.dwellRemaining = 0
+	c.servedTarget = 0
+}
 
 // Step implements sim.Component.
 func (c *DoorController) Step(_ time.Duration, bus *sim.Bus) {
@@ -366,6 +393,9 @@ type EmergencyBrake struct {
 // Name implements sim.Component.
 func (b *EmergencyBrake) Name() string { return "EmergencyBrake" }
 
+// Reset implements sim.Resetter: the latched brake releases.
+func (b *EmergencyBrake) Reset() { b.applied = false }
+
 // Step implements sim.Component.
 func (b *EmergencyBrake) Step(_ time.Duration, bus *sim.Bus) {
 	v := b.on(bus)
@@ -407,6 +437,13 @@ type Passenger struct {
 
 // Name implements sim.Component.
 func (p *Passenger) Name() string { return "Passenger" }
+
+// Reset implements sim.Resetter: the doorway clears and the car unloads.
+// The action schedule is configuration and survives.
+func (p *Passenger) Reset() {
+	p.blockUntil = 0
+	p.weight = 0
+}
 
 // Step implements sim.Component.
 func (p *Passenger) Step(now time.Duration, bus *sim.Bus) {

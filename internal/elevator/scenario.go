@@ -204,20 +204,27 @@ func BuildSuiteWithSchema(period time.Duration, schema *temporal.Schema) *monito
 	return cs
 }
 
+// initElevatorBus (re)initialises the elevator signal vocabulary so every
+// signal is visible from the first step.  On a reset, reused bus every name
+// is already interned and each Init is two plane stores.
+func initElevatorBus(bus *sim.Bus) {
+	bus.InitNumber(SigPeriodSeconds, DefaultPeriod.Seconds())
+	bus.InitString(SigDriveCommand, "STOP")
+	bus.InitString(SigDoorMotorCommand, "OPEN")
+	bus.InitString(SigEmergencyBrake, "RELEASED")
+	bus.InitBool(SigElevatorStopped, true)
+	bus.InitBool(SigDoorClosed, false)
+	bus.InitNumber(SigElevatorPosition, 0)
+	bus.InitNumber(SigElevatorSpeed, 0)
+	bus.InitNumber(SigElevatorWeight, 0)
+	bus.InitNumber(SigDispatchTarget, 0)
+}
+
 // Run executes a scenario with hierarchical monitoring and returns the
 // recorded trace, the monitors and the violation classification.
 func Run(sc Scenario) Result {
 	s := sim.New(DefaultPeriod)
-	s.Bus.InitNumber(SigPeriodSeconds, DefaultPeriod.Seconds())
-	s.Bus.InitString(SigDriveCommand, "STOP")
-	s.Bus.InitString(SigDoorMotorCommand, "OPEN")
-	s.Bus.InitString(SigEmergencyBrake, "RELEASED")
-	s.Bus.InitBool(SigElevatorStopped, true)
-	s.Bus.InitBool(SigDoorClosed, false)
-	s.Bus.InitNumber(SigElevatorPosition, 0)
-	s.Bus.InitNumber(SigElevatorSpeed, 0)
-	s.Bus.InitNumber(SigElevatorWeight, 0)
-	s.Bus.InitNumber(SigDispatchTarget, 0)
+	initElevatorBus(s.Bus)
 
 	driveController := &DriveController{
 		IgnoreHoistwayLimit: sc.HoistwayDefect,

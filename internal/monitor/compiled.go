@@ -136,6 +136,10 @@ func (cs *CompiledSuite) ClassifyAll() (map[string][]Detection, Summary) {
 // Summary aggregates the classification of all hierarchies.
 func (cs *CompiledSuite) Summary() Summary { return cs.suite.Summary() }
 
+// FastSummary computes the classification summary without materializing
+// detections; see Suite.FastSummary.
+func (cs *CompiledSuite) FastSummary() Summary { return cs.suite.FastSummary() }
+
 // Report collects the violation-report rows of every monitor that recorded a
 // violation, sorted by goal name then location.
 func (cs *CompiledSuite) Report() []ViolationReport { return cs.suite.Report() }

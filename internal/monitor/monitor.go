@@ -178,7 +178,10 @@ func (m *Monitor) Finish() {
 	}
 }
 
-// Reset clears all recorded state so the monitor can observe a new run.
+// Reset clears all recorded state so the monitor can observe a new run.  The
+// violation-interval slice keeps its capacity, so a monitor reused across the
+// runs of a sweep (e.g. inside an Engine worker's arena) records the next
+// run's intervals without reallocating.
 func (m *Monitor) Reset() {
 	if m.stepper != nil {
 		m.stepper.Reset()
@@ -186,7 +189,7 @@ func (m *Monitor) Reset() {
 	m.step = 0
 	m.inViolation = false
 	m.current = Interval{}
-	m.violations = nil
+	m.violations = m.violations[:0]
 }
 
 // Steps returns the number of states observed.
@@ -516,6 +519,12 @@ func uniqueStrings(in []string) []string {
 // safety goal, as deployed for the thesis' vehicle evaluation.
 type Suite struct {
 	hierarchies []*Hierarchy
+
+	// pmScratch / cmScratch are the reusable parent- and child-matched flag
+	// buffers of FastSummary, so a summary-only classification allocates
+	// nothing at steady state.  A Suite is single-goroutine, like its
+	// monitors.
+	pmScratch, cmScratch []bool
 }
 
 // NewSuite creates an empty suite.
@@ -580,6 +589,78 @@ func (s *Suite) ClassifyAll() (map[string][]Detection, Summary) {
 // Summary aggregates the classification of all hierarchies.
 func (s *Suite) Summary() Summary {
 	_, sum := s.ClassifyAll()
+	return sum
+}
+
+// FastSummary computes exactly the Summary ClassifyAll returns — the same
+// sort-merge matching per hierarchy — without materializing any Detection,
+// interval copy or per-goal map.  It is the classification path for
+// summary-only sweeps, where only the hit / false-negative / false-positive
+// counts survive the run: with the suite's reusable scratch buffers it
+// allocates nothing at steady state.
+func (s *Suite) FastSummary() Summary {
+	var sum Summary
+	for _, h := range s.hierarchies {
+		sum = sum.Add(h.countSummary(&s.pmScratch, &s.cmScratch))
+	}
+	return sum
+}
+
+// resizeCleared returns (*buf)[:n] with every flag false, growing the backing
+// array only when n exceeds its capacity.
+func resizeCleared(buf *[]bool, n int) []bool {
+	b := *buf
+	if cap(b) < n {
+		b = make([]bool, n)
+		*buf = b
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = false
+		}
+	}
+	return b
+}
+
+// countSummary is the counting form of Classify: each parent violation is one
+// hit (some child violation corresponds) or one false negative, and each
+// unmatched child violation is one false positive.  The interval matching is
+// the same monotone sort-merge per child; only the detections themselves are
+// never built.
+func (h *Hierarchy) countSummary(pmBuf, cmBuf *[]bool) Summary {
+	pvs := h.Parent.violations
+	pm := resizeCleared(pmBuf, len(pvs))
+	var sum Summary
+	for _, c := range h.Children {
+		cvs := c.violations
+		if len(cvs) == 0 {
+			continue
+		}
+		cm := resizeCleared(cmBuf, len(cvs))
+		lo := 0
+		for i, pv := range pvs {
+			pStart, pEnd := pv.Start-h.Tolerance, pv.End+h.Tolerance
+			for lo < len(cvs) && cvs[lo].End+h.Tolerance <= pStart {
+				lo++
+			}
+			for j := lo; j < len(cvs) && cvs[j].Start-h.Tolerance < pEnd; j++ {
+				pm[i] = true
+				cm[j] = true
+			}
+		}
+		for _, matched := range cm {
+			if !matched {
+				sum.FalsePositives++
+			}
+		}
+	}
+	for _, matched := range pm {
+		if matched {
+			sum.Hits++
+		} else {
+			sum.FalseNegatives++
+		}
+	}
 	return sum
 }
 

@@ -1,0 +1,121 @@
+package scenarios
+
+// Zero-allocation regression gates for the evaluation hot path.  PR 5's
+// contract is that the steady state of a summary-only sweep allocates
+// nothing per simulation step — commits, typed handle traffic and the whole
+// compiled-program observation run on the SoA register planes — and only
+// O(1) bookkeeping per variant on a reused arena.  These tests pin that
+// with testing.AllocsPerRun so a future change that reintroduces per-step
+// allocation (a Value escaping to the heap, a plane copy growing, a monitor
+// slice reallocating) fails loudly instead of showing up as a silent
+// throughput regression.
+//
+// The gates are skipped under -short and under the race detector (whose
+// instrumentation perturbs allocation counts).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/temporal"
+	"repro/internal/vehicle"
+)
+
+// skipIfAllocCountsUnreliable centralizes the -short / race-detector skips.
+func skipIfAllocCountsUnreliable(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("allocation gate skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+}
+
+// warmSimulation returns a scenario-1 simulation whose components have all
+// stepped (every handle bound, every signal and enumeration interned).
+func warmSimulation(t *testing.T) *sim.Simulation {
+	t.Helper()
+	sc, ok := ScenarioByNumber(1)
+	if !ok {
+		t.Fatal("scenario 1 missing")
+	}
+	s := NewSimulation(sc, Options{})
+	s.RunDiscard(10 * time.Millisecond)
+	return s
+}
+
+// TestZeroAllocBusCommit gates the per-step cost of making buffered writes
+// visible on a vehicle-sized bus: handle writes of every kind plus the
+// plane-memmove commit must not allocate.
+func TestZeroAllocBusCommit(t *testing.T) {
+	skipIfAllocCountsUnreliable(t)
+	bus := warmSimulation(t).Bus
+	speed := bus.NumVar(vehicle.SigVehicleSpeed)
+	stopped := bus.BoolVar(vehicle.SigVehicleStopped)
+	source := bus.StringVar(vehicle.SigAccelSource)
+
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		speed.Write(float64(i))
+		stopped.Write(i%2 == 0)
+		source.Write(vehicle.SourceACC)
+		bus.Commit()
+	})
+	if allocs != 0 {
+		t.Errorf("Bus.Commit steady state allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestZeroAllocProgramObserve gates one observation of the full Table 5.3
+// monitoring plan through the shared evaluation program: every atom read is
+// a plane load and every verdict lands in a preallocated recorder.
+func TestZeroAllocProgramObserve(t *testing.T) {
+	skipIfAllocCountsUnreliable(t)
+	state := temporal.NewState().
+		SetBool(vehicle.SigAccelFromSubsystem, true).
+		SetNumber(vehicle.SigVehicleAccel, 1.2).
+		SetNumber(vehicle.SigVehicleJerk, 0.5).
+		SetBool(vehicle.SigAccelSteeringAgreement, true).
+		SetBool(vehicle.SigVehicleStopped, false).
+		SetBool(vehicle.SigInForwardMotion, true).
+		SetString(vehicle.SigAccelSource, vehicle.SourceACC).
+		SetString(vehicle.SigSteerSource, vehicle.SourceNone)
+	suite := BuildSuiteWithSchema(time.Millisecond, state.Schema())
+	// Warm-up resolves lazy enumeration ids and settles the verdicts.
+	for i := 0; i < 100; i++ {
+		suite.Observe(state)
+	}
+	allocs := testing.AllocsPerRun(1000, func() { suite.Observe(state) })
+	if allocs != 0 {
+		t.Errorf("Program observe steady state allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestArenaVariantSteadyStateAllocs gates the arena-reused per-variant path:
+// rewinding the arena, re-initialising the bus and simulating a 2 000-step
+// variant end to end must cost O(1) allocations — the final bus snapshot and
+// nothing proportional to the step count.  The bound of 16 objects per
+// variant is ~0.008 per step; any per-step allocation would blow through it
+// three orders of magnitude over.
+func TestArenaVariantSteadyStateAllocs(t *testing.T) {
+	skipIfAllocCountsUnreliable(t)
+	sc, ok := ScenarioByNumber(1)
+	if !ok {
+		t.Fatal("scenario 1 missing")
+	}
+	sc.Duration = 2 * time.Second
+	arena := newRunArena()
+	// Warm-up: compile the suite, intern the vocabulary, grow the recorder
+	// and scratch capacities to this variant's watermark.
+	for i := 0; i < 2; i++ {
+		arena.run(sc, Options{})
+	}
+	allocs := testing.AllocsPerRun(3, func() { arena.run(sc, Options{}) })
+	if allocs > 16 {
+		t.Errorf("arena-reused variant allocates %v objects/run over %d steps, want O(1) (<= 16)",
+			allocs, int(sc.Duration/Period))
+	}
+}

@@ -1,0 +1,106 @@
+package scenarios
+
+import (
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/temporal"
+	"repro/internal/vehicle"
+)
+
+// runArena is a fully reusable simulation run: one schema, one bus, one
+// component set and one compiled evaluation program per tolerance, owned by a
+// single Engine worker and rewound between sweep variants instead of being
+// rebuilt.  A fresh run interns ~90 signal names, builds nine components and
+// an ~80-handle table, and compiles (or resets) a ~50-formula monitor suite;
+// the arena pays all of that once per worker, so the steady state of a
+// summary-only sweep allocates nothing per step and only O(1) bookkeeping per
+// variant (the final bus snapshot and the Result itself).
+//
+// The arena exists for SummaryOnly retention: a KeepTrace result hands its
+// trace and suite to the caller, so those runs build fresh state per job
+// (runJobCached).  An arena is not safe for concurrent use; workers own one
+// each.
+type runArena struct {
+	sim *sim.Simulation
+	set *vehicleSet
+
+	// suites caches one compiled suite per hit-matching tolerance — the only
+	// option that changes the monitoring plan's structure — compiled against
+	// the arena's schema, so its atoms stay slot-resolved across variants.
+	suites map[int]*monitor.CompiledSuite
+	// suite is the current variant's suite, fed by the arena's single
+	// registered observer.
+	suite *monitor.CompiledSuite
+	// collision is the stop-predicate slot, resolved once per arena.
+	collision int
+}
+
+// newRunArena builds the reusable simulation: components constructed and
+// bound once, the observer and stop predicate registered once.  The bus
+// vocabulary is interned by the first prepare.
+func newRunArena() *runArena {
+	a := &runArena{
+		set:    newVehicleSet(),
+		suites: make(map[int]*monitor.CompiledSuite),
+	}
+	a.sim = sim.New(Period)
+	components := a.set.components()
+	vehicle.BindAll(a.sim.Bus, components...)
+	a.sim.Add(components...)
+	a.sim.Observe(a)
+	a.collision = a.sim.Bus.Schema().Intern(vehicle.SigCollision)
+	a.sim.StopWhen(func(_ time.Duration, st temporal.State) bool {
+		return st.SlotBool(a.collision)
+	})
+	return a
+}
+
+// Observe implements sim.StateObserver by forwarding each committed state to
+// the current variant's suite, so the simulation's observer list never grows
+// across variants.
+func (a *runArena) Observe(st temporal.State) { a.suite.Observe(st) }
+
+// prepare rewinds the arena for one variant: bus planes cleared, components
+// reset and reconfigured, signal vocabulary re-initialised (two plane stores
+// per signal — every name is already interned after the first variant), and
+// the tolerance's compiled suite selected and reset.
+func (a *runArena) prepare(sc Scenario, opts Options) {
+	a.sim.Reset()
+	a.set.configure(sc, opts)
+	initVehicleBus(a.sim.Bus, sc)
+
+	tol := opts.tolerance()
+	suite, ok := a.suites[tol]
+	if ok {
+		suite.Reset()
+	} else {
+		suite = buildCompiledSuite(Period, a.sim.Bus.Schema(), tol)
+		a.suites[tol] = suite
+	}
+	a.suite = suite
+}
+
+// run executes one summary-only variant on the rewound arena and returns its
+// Result.  It is the arena counterpart of runJobCached with
+// retention == SummaryOnly.
+func (a *runArena) run(sc Scenario, opts Options) Result {
+	a.prepare(sc, opts)
+
+	// Normalize the default duration into the scenario recorded on the
+	// Result, so Result.TerminatedEarly compares the executed steps against
+	// the duration that was actually scheduled.
+	if sc.Duration <= 0 {
+		sc.Duration = defaultScenarioDuration
+	}
+	steps, last := a.sim.RunDiscard(sc.Duration)
+	a.suite.Finish()
+
+	return Result{
+		Scenario:  sc,
+		Steps:     steps,
+		Summary:   a.suite.FastSummary(),
+		Collision: last != nil && last.Bool(vehicle.SigCollision),
+	}
+}

@@ -1,0 +1,146 @@
+package scenarios
+
+// Differential tests for the run arena: the same variant executed on a
+// reused arena — one schema, bus, component set and compiled program,
+// rewound between runs — must be indistinguishable from a fresh, fully
+// rebuilt run.  The arena is deliberately reused across every variant of a
+// sweep, exactly as an Engine worker reuses it, so these tests prove that
+// Simulation.Reset, the component Reset paths and the absolute
+// reconfiguration in vehicleSet.configure leave no state behind.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// assertArenaMatchesFresh runs one job both ways and compares everything a
+// summary-only Result retains.
+func assertArenaMatchesFresh(t *testing.T, arena *runArena, sc Scenario, opts Options) {
+	t.Helper()
+	got := arena.run(sc, opts)
+	want := runJob(sc, opts, SummaryOnly)
+	if got.Summary != want.Summary {
+		t.Errorf("%s (%s): arena summary %v != fresh summary %v",
+			sc.Name, opts.Label(), got.Summary, want.Summary)
+	}
+	if got.Steps != want.Steps {
+		t.Errorf("%s (%s): arena steps %d != fresh steps %d",
+			sc.Name, opts.Label(), got.Steps, want.Steps)
+	}
+	if got.Collision != want.Collision {
+		t.Errorf("%s (%s): arena collision %v != fresh collision %v",
+			sc.Name, opts.Label(), got.Collision, want.Collision)
+	}
+	if got.TerminatedEarly() != want.TerminatedEarly() {
+		t.Errorf("%s (%s): arena early-termination %v != fresh %v",
+			sc.Name, opts.Label(), got.TerminatedEarly(), want.TerminatedEarly())
+	}
+}
+
+// TestArenaMatchesFreshThesisScenarios proves arena-reuse equivalence on the
+// ten thesis scenarios in both defect configurations, interleaved so every
+// run follows a differently configured one.  -short trims the durations; the
+// full 20 s runs execute in CI.
+func TestArenaMatchesFreshThesisScenarios(t *testing.T) {
+	arena := newRunArena()
+	for _, sc := range Scenarios() {
+		sc := sc
+		if testing.Short() {
+			sc.Duration = 2 * time.Second
+		}
+		t.Run(sc.Name, func(t *testing.T) {
+			assertArenaMatchesFresh(t, arena, sc, Options{})
+			assertArenaMatchesFresh(t, arena, sc, Options{CorrectDefects: true})
+		})
+	}
+}
+
+// TestArenaMatchesFreshSweeps extends the equivalence proof across every
+// variant of the sweep presets an Engine worker actually runs the arena
+// over: the 120-variant DefaultSweep, the tolerance sweep (which switches
+// compiled programs inside one arena) and the defect sweep (per-feature
+// corrections and perturbed driver schedules).
+func TestArenaMatchesFreshSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three full sweep presets through one arena")
+	}
+	arena := newRunArena()
+	for _, preset := range []struct {
+		name  string
+		sweep Sweep
+	}{
+		{"default", DefaultSweep()},
+		{"tolerance", ToleranceSweep()},
+		{"defects", DefectSweep()},
+	} {
+		preset := preset
+		t.Run(preset.name, func(t *testing.T) {
+			sw := preset.sweep
+			for i := range sw.Families {
+				sw.Families[i].Base.Duration = 1 * time.Second
+			}
+			src := sw.Source()
+			runs := 0
+			for {
+				job, ok := src.Next()
+				if !ok {
+					break
+				}
+				assertArenaMatchesFresh(t, arena, job.Scenario, job.Options)
+				runs++
+			}
+			if runs != sw.Size() {
+				t.Fatalf("arena differential executed %d variants, want %d", runs, sw.Size())
+			}
+		})
+	}
+}
+
+// TestEngineResultCache checks the per-variant memoization at the ResultSink
+// seam: re-streaming the same sweep on one Engine serves every variant from
+// the cache, and the cached results are identical to the fresh ones.
+func TestEngineResultCache(t *testing.T) {
+	sw := ToleranceSweep()
+	for i := range sw.Families {
+		sw.Families[i].Base.Duration = 500 * time.Millisecond
+	}
+	engine := NewEngine(WithRetention(SummaryOnly), WithResultCache())
+
+	collect := func() []Result {
+		var out []Result
+		err := engine.Stream(context.Background(), sw.Source(), SinkFunc(func(sr StreamResult) error {
+			out = append(out, sr.Result)
+			return nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	first := collect()
+	hits, misses := engine.CacheStats()
+	if hits != 0 || misses != sw.Size() {
+		t.Fatalf("first pass: hits=%d misses=%d, want 0/%d", hits, misses, sw.Size())
+	}
+
+	second := collect()
+	hits, misses = engine.CacheStats()
+	if hits != sw.Size() || misses != sw.Size() {
+		t.Fatalf("second pass: hits=%d misses=%d, want %d/%d", hits, misses, sw.Size(), sw.Size())
+	}
+	for i := range first {
+		if first[i].Summary != second[i].Summary ||
+			first[i].Steps != second[i].Steps ||
+			first[i].Collision != second[i].Collision ||
+			first[i].Scenario.Name != second[i].Scenario.Name {
+			t.Fatalf("variant %d: cached result diverges from fresh run", i)
+		}
+	}
+
+	// An uncached Engine reports zero counters.
+	if h, m := NewEngine().CacheStats(); h != 0 || m != 0 {
+		t.Fatalf("uncached engine stats = %d/%d, want 0/0", h, m)
+	}
+}

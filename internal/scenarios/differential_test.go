@@ -113,6 +113,16 @@ func runDifferential(t *testing.T, sc Scenario, opts Options, cache suiteCache) 
 		t.Errorf("%s (%s): compiled-program violation report diverges from the per-monitor suite",
 			sc.Name, opts.Label())
 	}
+	// The counting classifier used by summary-only runs must agree with the
+	// detection-materializing one on every suite.
+	if got := compiled.FastSummary(); got != progSummary {
+		t.Errorf("%s (%s): FastSummary %v != ClassifyAll summary %v",
+			sc.Name, opts.Label(), got, progSummary)
+	}
+	if got := slotSuite.FastSummary(); got != slotSummary {
+		t.Errorf("%s (%s): per-monitor FastSummary %v != ClassifyAll summary %v",
+			sc.Name, opts.Label(), got, slotSummary)
+	}
 }
 
 // TestVehiclePlanProgramSharing pins the point of the compiled suite on the

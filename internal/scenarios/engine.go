@@ -3,6 +3,7 @@ package scenarios
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/monitor"
@@ -133,6 +134,7 @@ type Engine struct {
 	retention Retention
 	ordered   bool
 	progress  func(completed int)
+	cache     *variantCache
 }
 
 // EngineOption configures an Engine.
@@ -150,6 +152,24 @@ func WithRetention(r Retention) EngineOption { return func(e *Engine) { e.retent
 // far.
 func WithProgress(fn func(completed int)) EngineOption {
 	return func(e *Engine) { e.progress = fn }
+}
+
+// WithResultCache memoizes summary-only Results keyed by the variant label
+// (scenario name, scheduled duration and the full Options label), so a job
+// whose label was already evaluated — a re-streamed sweep on the same Engine,
+// or duplicate variants across concatenated sources — is served from the
+// cache instead of being simulated again.  The cache lives for the Engine's
+// lifetime and is shared by all workers; CacheStats surfaces its hit/miss
+// counters.
+//
+// Only SummaryOnly runs are memoized (a KeepTrace Result owns its trace and
+// suite, which must not be shared between results).  Callers are responsible
+// for variant labels identifying configurations: every sweep generator's
+// names do (variantName covers all axes and options), but hand-built jobs
+// that reuse a name across different configurations must not enable the
+// cache.
+func WithResultCache() EngineOption {
+	return func(e *Engine) { e.cache = newVariantCache() }
 }
 
 // WithUnordered delivers results to the sink as they complete instead of in
@@ -262,16 +282,7 @@ func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) err
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			// Each worker owns a suite cache: the monitoring plan is compiled
-			// into a shared evaluation program once per tolerance per worker
-			// and Reset between runs, instead of rebuilding 30+ monitors for
-			// every sweep variant.  (Only summary-only runs reuse suites; a
-			// retained suite belongs to its Result.)
-			cache := make(suiteCache)
-			for t := range tasks {
-				res := runJobCached(t.job.Scenario, t.job.Options, e.retention, cache)
-				results <- StreamResult{Index: t.idx, Job: t.job, Result: res}
-			}
+			e.runWorker(tasks, results)
 		}()
 	}
 	go func() {
@@ -337,6 +348,121 @@ func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) err
 		return nil
 	}
 	return ctx.Err()
+}
+
+// arenaPool recycles run arenas across Stream calls and Engine lifetimes:
+// an arena's schema, handle table and compiled programs depend on nothing
+// job-specific, so a worker borrows one for the duration of a stream and
+// returns it, and repeated sweeps (tests, benchmarks, a long-lived service
+// evaluating batch after batch) skip the per-worker setup entirely.
+var arenaPool = sync.Pool{New: func() any { return newRunArena() }}
+
+// runWorker executes dispatched jobs until the task channel closes.  Under
+// SummaryOnly retention the worker borrows a run arena — one schema, bus,
+// component set and compiled program per tolerance, rewound between variants
+// — so the per-variant cost is the simulation itself, not its construction.
+// KeepTrace runs build fresh state per job (the Result retains the trace and
+// suite) and reuse only the compiled monitor suites via the suite cache.
+func (e *Engine) runWorker(tasks <-chan task, results chan<- StreamResult) {
+	if e.retention == SummaryOnly {
+		arena := arenaPool.Get().(*runArena)
+		defer arenaPool.Put(arena)
+		for t := range tasks {
+			res, hit := e.cache.lookup(t.job)
+			if !hit {
+				res = arena.run(t.job.Scenario, t.job.Options)
+				e.cache.store(t.job, res)
+			}
+			results <- StreamResult{Index: t.idx, Job: t.job, Result: res}
+		}
+		return
+	}
+	cache := make(suiteCache)
+	for t := range tasks {
+		res := runJobCached(t.job.Scenario, t.job.Options, e.retention, cache)
+		results <- StreamResult{Index: t.idx, Job: t.job, Result: res}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-variant result memoization (the ResultSink seam's cache)
+// ---------------------------------------------------------------------------
+
+// cachedSummary is the memoized, retention-independent part of a summary-only
+// Result.  The Scenario itself is rebuilt from the incoming job, so a cache
+// hit returns a Result indistinguishable from a fresh run of that job.
+type cachedSummary struct {
+	steps     int
+	summary   monitor.Summary
+	collision bool
+}
+
+// variantCache memoizes summary-only results keyed by variant label.  It is
+// shared across an Engine's workers; a run costs milliseconds, so one mutex
+// around the map is invisible next to the work it saves.
+type variantCache struct {
+	mu     sync.Mutex
+	m      map[string]cachedSummary
+	hits   int
+	misses int
+}
+
+func newVariantCache() *variantCache { return &variantCache{m: make(map[string]cachedSummary)} }
+
+// key identifies a variant: the scenario name (which every sweep generator
+// derives from the full parameter assignment), the scheduled duration and
+// the options label.
+func (c *variantCache) key(job Job) string {
+	return job.Scenario.Name + "|" + strconv.FormatInt(int64(job.Scenario.Duration), 10) + "|" + job.Options.Label()
+}
+
+// lookup returns the memoized Result for the job's variant label.  A nil
+// cache (the default Engine) never hits.
+func (c *variantCache) lookup(job Job) (Result, bool) {
+	if c == nil {
+		return Result{}, false
+	}
+	key := c.key(job)
+	c.mu.Lock()
+	cs, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if !ok {
+		return Result{}, false
+	}
+	sc := job.Scenario
+	if sc.Duration <= 0 {
+		sc.Duration = defaultScenarioDuration
+	}
+	return Result{Scenario: sc, Steps: cs.steps, Summary: cs.summary, Collision: cs.collision}, true
+}
+
+// store memoizes a freshly computed summary-only result.
+func (c *variantCache) store(job Job, res Result) {
+	if c == nil {
+		return
+	}
+	key := c.key(job)
+	c.mu.Lock()
+	if _, ok := c.m[key]; !ok {
+		c.m[key] = cachedSummary{steps: res.Steps, summary: res.Summary, collision: res.Collision}
+	}
+	c.mu.Unlock()
+}
+
+// CacheStats returns the result cache's hit and miss counts (zero when the
+// Engine was built without WithResultCache).
+func (e *Engine) CacheStats() (hits, misses int) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	return e.cache.hits, e.cache.misses
 }
 
 // Accumulate streams src into a fresh Accumulator and returns it.  On

@@ -8,6 +8,7 @@ package scenarios
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/goals"
@@ -283,9 +284,31 @@ type HierarchySpec struct {
 	Children []MonitorSpec
 }
 
-// MonitoringPlan builds the full Table 5.3 monitoring plan: for every system
-// safety goal, where the goal and its subgoals are monitored.
+// planOnce / cachedPlan memoize the monitoring plan for the process: the
+// goal catalogue and the plan are static, so their formula parsing and plan
+// assembly run once instead of once per compiled suite (formula ASTs are
+// immutable after construction, so sharing them across concurrently compiled
+// suites is safe).  Suite builders read the cache through monitoringPlan.
+var (
+	planOnce   sync.Once
+	cachedPlan []HierarchySpec
+)
+
+// monitoringPlan returns the process-wide cached plan.  Callers must treat
+// it as read-only; the public MonitoringPlan returns a copy.
+func monitoringPlan() []HierarchySpec {
+	planOnce.Do(func() { cachedPlan = buildMonitoringPlan() })
+	return cachedPlan
+}
+
+// MonitoringPlan returns the full Table 5.3 monitoring plan: for every
+// system safety goal, where the goal and its subgoals are monitored.
 func MonitoringPlan() []HierarchySpec {
+	return append([]HierarchySpec(nil), monitoringPlan()...)
+}
+
+// buildMonitoringPlan assembles the plan from the goal catalogue.
+func buildMonitoringPlan() []HierarchySpec {
 	registry := VehicleGoals()
 	var plan []HierarchySpec
 	for _, name := range GoalNames {
@@ -349,7 +372,7 @@ func buildSuite(period time.Duration, schema *temporal.Schema, tolerance int) *m
 		tolerance = matchTolerance
 	}
 	suite := monitor.NewSuite()
-	for _, spec := range MonitoringPlan() {
+	for _, spec := range monitoringPlan() {
 		parent := monitor.MustNewWithSchema(spec.Parent.Goal, spec.Parent.Location, period, schema)
 		children := make([]*monitor.Monitor, 0, len(spec.Children))
 		for _, c := range spec.Children {
@@ -367,7 +390,7 @@ func buildCompiledSuite(period time.Duration, schema *temporal.Schema, tolerance
 		tolerance = matchTolerance
 	}
 	cs := monitor.NewCompiledSuite(period, schema)
-	for _, spec := range MonitoringPlan() {
+	for _, spec := range monitoringPlan() {
 		cs.MustAddHierarchy(spec.Parent, tolerance, spec.Children...)
 	}
 	return cs
@@ -397,7 +420,7 @@ func RenderTable5_3() string {
 		fmt.Fprintln(&b)
 	}
 
-	for _, spec := range MonitoringPlan() {
+	for _, spec := range monitoringPlan() {
 		writeRow(spec.GoalName, map[string]bool{spec.Parent.Location: true})
 		byName := make(map[string]map[string]bool)
 		var order []string

@@ -15,6 +15,10 @@ import (
 // the thesis).
 const Period = time.Millisecond
 
+// defaultScenarioDuration is the scheduled simulation time a zero-valued
+// Scenario.Duration resolves to (20 s, as in the thesis).
+const defaultScenarioDuration = 20 * time.Second
+
 // Scenario is one of the ten evaluation scenarios of thesis Section 5.4.
 type Scenario struct {
 	// Number is the thesis scenario number (1–10).
@@ -320,14 +324,79 @@ func RunWithOptions(sc Scenario, opts Options) Result {
 	return runJob(sc, opts, KeepTrace)
 }
 
-// NewSimulation builds the simulation for one scenario: the initialised bus
-// (which interns the full signal vocabulary into the run's schema) and the
-// component set with the configured defects, sharing one resolved handle
-// table.  It is the setup half of runJob, exposed for callers that attach
-// their own observers — the differential tests and the substrate benchmarks.
-func NewSimulation(sc Scenario, opts Options) *sim.Simulation {
-	s := sim.New(Period)
-	bus := s.Bus
+// vehicleSet is the typed component set of one vehicle simulation, kept so a
+// run arena can reconfigure and reset the same components variant after
+// variant instead of rebuilding them.
+type vehicleSet struct {
+	driver   *vehicle.Driver
+	object   *vehicle.Object
+	ca       *vehicle.CollisionAvoidance
+	rca      *vehicle.RearCollisionAvoidance
+	acc      *vehicle.AdaptiveCruiseControl
+	lca      *vehicle.LaneChangeAssist
+	pa       *vehicle.ParkAssist
+	arbiter  *vehicle.Arbiter
+	dynamics *vehicle.Dynamics
+}
+
+// newVehicleSet constructs the component set with the constructors' default
+// (defect-seeded) configuration; configure applies a scenario on top.
+func newVehicleSet() *vehicleSet {
+	return &vehicleSet{
+		driver:   &vehicle.Driver{},
+		object:   &vehicle.Object{},
+		ca:       vehicle.NewCollisionAvoidance(),
+		rca:      vehicle.NewRearCollisionAvoidance(),
+		acc:      vehicle.NewAdaptiveCruiseControl(),
+		lca:      vehicle.NewLaneChangeAssist(),
+		pa:       vehicle.NewParkAssist(),
+		arbiter:  vehicle.NewArbiter(),
+		dynamics: &vehicle.Dynamics{},
+	}
+}
+
+// components returns the component set in the simulation's step order.
+func (vs *vehicleSet) components() []sim.Component {
+	return []sim.Component{
+		vs.driver, vs.object, vs.ca, vs.rca, vs.acc, vs.lca, vs.pa, vs.arbiter, vs.dynamics,
+	}
+}
+
+// configure applies one scenario's parameters and defect corrections.  Every
+// flag is assigned absolutely — enabled or disabled, never left as-is — so
+// reconfiguring a reused component set for the next sweep variant re-seeds
+// defects a previous variant corrected.
+func (vs *vehicleSet) configure(sc Scenario, opts Options) {
+	vs.driver.Schedule = sc.Driver
+	vs.driver.InitialGear = sc.Gear
+	vs.object.InitialDistance = sc.ObjectDistance
+	vs.object.Speed = sc.ObjectSpeed
+	vs.dynamics.InitialSpeed = sc.InitialSpeed
+
+	correct := opts.defects()
+	vs.ca.IntermittentBraking = !correct.CorrectCA
+	vs.rca.NeverEngages = !correct.CorrectRCA
+	vs.acc.ControlWhenNotEngaged = !correct.CorrectACC
+	vs.acc.DecelWhileLCA = !correct.CorrectACC
+	vs.acc.EngageWithoutChecks = !sc.ACCDirectionCheck && !correct.CorrectACC
+	vs.pa.SpuriousRequests = !correct.CorrectPA
+	arbiterDefects := !correct.CorrectArbiter
+	vs.arbiter.ReversedSteeringPriority = arbiterDefects
+	vs.arbiter.SteeringStageOverridesAccel = arbiterDefects
+	vs.arbiter.EnabledFeaturesJoinSteering = arbiterDefects
+	vs.arbiter.PACommandMismatch = arbiterDefects
+	if arbiterDefects {
+		vs.arbiter.OverrideCheckDelay = vehicle.DefaultOverrideCheckDelay
+	} else {
+		vs.arbiter.OverrideCheckDelay = 0
+	}
+}
+
+// initVehicleBus (re)initialises the scenario's signal vocabulary on the bus
+// so every signal is visible from the very first step.  On a fresh bus it
+// interns the full vocabulary into the run's schema; on a reset arena bus
+// every name is already interned and each Init is two plane stores.
+func initVehicleBus(bus *sim.Bus, sc Scenario) {
 	bus.InitNumber(vehicle.SigPeriodSeconds, Period.Seconds())
 	bus.InitString(vehicle.SigGear, sc.Gear)
 	bus.InitString(vehicle.SigAccelSource, vehicle.SourceNone)
@@ -355,50 +424,23 @@ func NewSimulation(sc Scenario, opts Options) *sim.Simulation {
 		bus.InitNumber(vehicle.SigRequestJerk(f), 0)
 		bus.InitBool(vehicle.SigSelected(f), false)
 	}
+}
 
-	driver := &vehicle.Driver{Schedule: sc.Driver, InitialGear: sc.Gear}
-	ca := vehicle.NewCollisionAvoidance()
-	rca := vehicle.NewRearCollisionAvoidance()
-	acc := vehicle.NewAdaptiveCruiseControl()
-	acc.EngageWithoutChecks = !sc.ACCDirectionCheck
-	pa := vehicle.NewParkAssist()
-	arbiter := vehicle.NewArbiter()
-	correct := opts.defects()
-	if correct.CorrectCA {
-		ca.IntermittentBraking = false
-	}
-	if correct.CorrectRCA {
-		rca.NeverEngages = false
-	}
-	if correct.CorrectACC {
-		acc.ControlWhenNotEngaged = false
-		acc.EngageWithoutChecks = false
-		acc.DecelWhileLCA = false
-	}
-	if correct.CorrectPA {
-		pa.SpuriousRequests = false
-	}
-	if correct.CorrectArbiter {
-		arbiter.ReversedSteeringPriority = false
-		arbiter.SteeringStageOverridesAccel = false
-		arbiter.EnabledFeaturesJoinSteering = false
-		arbiter.PACommandMismatch = false
-		arbiter.OverrideCheckDelay = 0
-	}
-
-	components := []sim.Component{
-		driver,
-		&vehicle.Object{InitialDistance: sc.ObjectDistance, Speed: sc.ObjectSpeed},
-		ca,
-		rca,
-		acc,
-		vehicle.NewLaneChangeAssist(),
-		pa,
-		arbiter,
-		&vehicle.Dynamics{InitialSpeed: sc.InitialSpeed},
-	}
+// NewSimulation builds the simulation for one scenario: the initialised bus
+// (which interns the full signal vocabulary into the run's schema) and the
+// component set with the configured defects, sharing one resolved handle
+// table.  It is the setup half of runJob, exposed for callers that attach
+// their own observers — the differential tests and the substrate benchmarks.
+// Sweep workers reuse one simulation across variants through a runArena
+// instead.
+func NewSimulation(sc Scenario, opts Options) *sim.Simulation {
+	s := sim.New(Period)
+	initVehicleBus(s.Bus, sc)
+	vs := newVehicleSet()
+	vs.configure(sc, opts)
+	components := vs.components()
 	// One shared handle table for the whole run instead of one per component.
-	vehicle.BindAll(bus, components...)
+	vehicle.BindAll(s.Bus, components...)
 	s.Add(components...)
 	return s
 }
@@ -455,7 +497,7 @@ func runJobCached(sc Scenario, opts Options, retention Retention, cache suiteCac
 	// Result, so Result.TerminatedEarly compares the executed steps against
 	// the duration that was actually scheduled.
 	if sc.Duration <= 0 {
-		sc.Duration = 20 * time.Second
+		sc.Duration = defaultScenarioDuration
 	}
 
 	var (
@@ -471,14 +513,18 @@ func runJobCached(sc Scenario, opts Options, retention Retention, cache suiteCac
 	}
 	suite.Finish()
 
-	detections, summary := suite.ClassifyAll()
 	out := Result{
 		Scenario:  sc,
 		Steps:     steps,
-		Summary:   summary,
 		Collision: last != nil && last.Bool(vehicle.SigCollision),
 	}
-	if retention != SummaryOnly {
+	if retention == SummaryOnly {
+		// Only the counts survive this retention policy, so classify without
+		// materializing detections (identical summary, zero retained state).
+		out.Summary = suite.FastSummary()
+	} else {
+		detections, summary := suite.ClassifyAll()
+		out.Summary = summary
 		out.Trace = trace
 		out.Suite = suite.Suite()
 		out.Detections = detections

@@ -102,9 +102,9 @@ func (b *Bus) InitBool(name string, v bool) { b.Init(name, temporal.Bool(v)) }
 // InitString initialises a string signal.
 func (b *Bus) InitString(name, s string) { b.Init(name, temporal.String(s)) }
 
-// Commit makes all buffered writes visible: a register-file copy of the
-// pending buffer over the current one.  Signals that were not written this
-// step keep their previous value (hold semantics: once initialised or
+// Commit makes all buffered writes visible: a plane-by-plane memmove of the
+// pending register file over the current one.  Signals that were not written
+// this step keep their previous value (hold semantics: once initialised or
 // written, a signal's last value persists in the pending buffer).  The
 // simulation kernel commits after each step; external drivers stepping
 // components by hand call it directly.
@@ -112,6 +112,16 @@ func (b *Bus) Commit() { b.current.CopyFrom(b.pending) }
 
 // Snapshot returns an independent copy of the visible state.
 func (b *Bus) Snapshot() temporal.State { return b.current.Clone() }
+
+// Reset clears both register files to the absent value while keeping the
+// schema, the interned vocabulary and the plane capacity, so the same bus
+// can carry run after run: slot handles, compiled monitors and enumeration
+// ids resolved against the schema all stay valid, and the next run's Init
+// calls write into already-sized planes.
+func (b *Bus) Reset() {
+	b.current.Reset()
+	b.pending.Reset()
+}
 
 // NumVar is a slot-indexed handle to a numeric bus signal: Read observes the
 // committed value (NaN when absent) and Write buffers the next value, with
@@ -128,10 +138,10 @@ func (b *Bus) NumVar(name string) NumVar {
 }
 
 // Read returns the visible value of the signal (NaN when absent).
-func (v NumVar) Read() float64 { return v.read.Slot(v.slot).AsNumber() }
+func (v NumVar) Read() float64 { return v.read.SlotNumber(v.slot) }
 
 // Write buffers a new value; it becomes visible after the next commit.
-func (v NumVar) Write(f float64) { v.write.SetSlot(v.slot, temporal.Number(f)) }
+func (v NumVar) Write(f float64) { v.write.SetSlotNumber(v.slot, f) }
 
 // BoolVar is a slot-indexed handle to a boolean bus signal.
 type BoolVar struct {
@@ -146,10 +156,10 @@ func (b *Bus) BoolVar(name string) BoolVar {
 }
 
 // Read returns the visible value of the signal (false when absent).
-func (v BoolVar) Read() bool { return v.read.Slot(v.slot).AsBool() }
+func (v BoolVar) Read() bool { return v.read.SlotBool(v.slot) }
 
 // Write buffers a new value; it becomes visible after the next commit.
-func (v BoolVar) Write(x bool) { v.write.SetSlot(v.slot, temporal.Bool(x)) }
+func (v BoolVar) Write(x bool) { v.write.SetSlotBool(v.slot, x) }
 
 // StringVar is a slot-indexed handle to a string (enumeration) bus signal.
 type StringVar struct {
@@ -164,10 +174,23 @@ func (b *Bus) StringVar(name string) StringVar {
 }
 
 // Read returns the visible value of the signal ("" when absent).
-func (v StringVar) Read() string { return v.read.Slot(v.slot).AsString() }
+func (v StringVar) Read() string { return v.read.SlotString(v.slot) }
 
 // Write buffers a new value; it becomes visible after the next commit.
-func (v StringVar) Write(s string) { v.write.SetSlot(v.slot, temporal.String(s)) }
+// Enumeration strings are interned in the bus schema, so a repeated write is
+// a map read plus two plane stores.
+func (v StringVar) Write(s string) { v.write.SetSlotString(v.slot, s) }
+
+// Resetter is implemented by components that can rewind themselves to their
+// initial conditions, so a fully built simulation — bus, schema, resolved
+// handles, component set and observers — can be reused run after run
+// (Simulation.Reset) instead of being reconstructed per run.
+type Resetter interface {
+	// Reset restores the component to its pre-first-Step state.  Scenario
+	// configuration (schedules, defect flags, initial speeds) is a field
+	// assignment and is not touched; callers reconfigure after Reset.
+	Reset()
+}
 
 // StepFunc adapts a plain function into a Component.
 type StepFunc struct {
@@ -234,6 +257,23 @@ func (s *Simulation) Observe(obs StateObserver) {
 // when the simulated vehicle model faults.
 func (s *Simulation) StopWhen(fn func(now time.Duration, state temporal.State) bool) {
 	s.stop = fn
+}
+
+// Reset rewinds the simulation for another run: both bus register files are
+// cleared (keeping the schema, the interned vocabulary and the plane
+// capacity) and every component implementing Resetter is restored to its
+// initial conditions.  Registered observers and the stop predicate are kept;
+// reusable observers (e.g. monitor.CompiledSuite) have their own Reset.
+// Together with per-component reconfiguration this makes a whole simulation
+// a reusable arena: the steady state of a sweep allocates nothing per step
+// and only O(1) bookkeeping per run.
+func (s *Simulation) Reset() {
+	s.Bus.Reset()
+	for _, c := range s.components {
+		if r, ok := c.(Resetter); ok {
+			r.Reset()
+		}
+	}
 }
 
 // Run executes the simulation for the given duration (or until the stop

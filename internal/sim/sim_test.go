@@ -221,3 +221,64 @@ func TestRunDiscardStopAndLastIndependence(t *testing.T) {
 		t.Errorf("zero-duration discard run = (%d, %v), want (0, nil)", steps, last)
 	}
 }
+
+// TestBusResetKeepsVocabularyAndHandles checks that Bus.Reset clears every
+// signal while keeping the schema and resolved slot handles valid, so a
+// reused bus carries the next run without re-interning.
+func TestBusResetKeepsVocabularyAndHandles(t *testing.T) {
+	bus := NewBus()
+	speed := bus.NumVar("speed")
+	mode := bus.StringVar("mode")
+	bus.InitNumber("speed", 7)
+	bus.InitString("mode", "GO")
+
+	before := bus.Schema().Len()
+	bus.Reset()
+	if bus.Has("speed") || bus.Has("mode") {
+		t.Fatal("signals survived Bus.Reset")
+	}
+	if bus.Schema().Len() != before {
+		t.Fatalf("schema width changed across Reset: %d != %d", bus.Schema().Len(), before)
+	}
+
+	// The pre-reset handles still address the same slots.
+	speed.Write(3)
+	mode.Write("STOP")
+	bus.Commit()
+	if got := speed.Read(); got != 3 {
+		t.Errorf("handle read after Reset = %v, want 3", got)
+	}
+	if got := mode.Read(); got != "STOP" {
+		t.Errorf("string handle read after Reset = %q, want STOP", got)
+	}
+}
+
+// resettableCounter counts steps and implements Resetter.
+type resettableCounter struct {
+	steps int
+}
+
+func (c *resettableCounter) Name() string { return "counter" }
+func (c *resettableCounter) Step(_ time.Duration, bus *Bus) {
+	c.steps++
+	bus.WriteNumber("count", float64(c.steps))
+}
+func (c *resettableCounter) Reset() { c.steps = 0 }
+
+// TestSimulationResetRewindsComponentsAndBus checks that a reset simulation
+// reproduces its first run exactly.
+func TestSimulationResetRewindsComponentsAndBus(t *testing.T) {
+	s := New(time.Millisecond)
+	c := &resettableCounter{}
+	s.Add(c)
+	_, last1 := s.RunDiscard(5 * time.Millisecond)
+
+	s.Reset()
+	if s.Bus.Has("count") {
+		t.Fatal("bus state survived Simulation.Reset")
+	}
+	_, last2 := s.RunDiscard(5 * time.Millisecond)
+	if got, want := last2.Number("count"), last1.Number("count"); got != want {
+		t.Errorf("second run after Reset ended at count %v, first run at %v", got, want)
+	}
+}

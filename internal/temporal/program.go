@@ -99,11 +99,28 @@ func (p *Program) Step(st State) {
 		case opConst:
 			out = n.bstate
 		case opVar:
-			out = n.ref.value(st).AsBool()
-		case opCompare:
-			if v := n.ref.value(st); v.IsValid() {
-				out = compareValues(v, n.val, n.cmp)
+			out = n.ref.boolAt(st)
+		case opCompareNum:
+			// All comparisons against a non-string constant — and ordered
+			// comparisons against any constant — reduce to one float compare
+			// on the number plane (AsNumber maps bools to 0/1 and strings to
+			// NaN, which no comparison or inequality misclassifies).
+			if f, ok := n.ref.numberOK(st); ok {
+				out = compareNumbers(f, n.cval, n.cmp)
 			}
+		case opCompareStrEq:
+			// Equality against an enumeration constant is an id compare on
+			// the enumeration plane.
+			if slot, ok := n.ref.resolve(st); ok {
+				if k := st.SlotKind(slot); k != KindInvalid {
+					match := k == KindString && st.SlotStringID(slot) == n.eref.idIn(st.Schema())
+					out = match == (n.cmp == OpEq)
+				}
+			}
+		case opCompareVarsNum:
+			lf, lok := n.ref.numberOK(st)
+			rf, rok := n.ref2.numberOK(st)
+			out = lok && rok && compareNumbers(lf, rf, n.cmp)
 		case opCompareVars:
 			lv, rv := n.ref.value(st), n.ref2.value(st)
 			if lv.IsValid() && rv.IsValid() {
@@ -232,7 +249,7 @@ func (p *Program) Stats() ProgramStats {
 	}
 	for i := range p.nodes {
 		switch p.nodes[i].op {
-		case opConst, opVar, opCompare, opCompareVars, opPred:
+		case opConst, opVar, opCompareNum, opCompareStrEq, opCompareVarsNum, opCompareVars, opPred:
 			s.Atoms++
 		}
 	}
@@ -245,7 +262,9 @@ type progOp uint8
 const (
 	opConst progOp = iota
 	opVar
-	opCompare
+	opCompareNum
+	opCompareStrEq
+	opCompareVarsNum
 	opCompareVars
 	opPred
 	opNot
@@ -276,6 +295,8 @@ type pnode struct {
 	ref2 slotRef
 	cmp  CompareOp
 	val  Value
+	cval float64 // val.AsNumber(), precomputed for opCompareNum
+	eref enumRef // val's interned id, for opCompareStrEq
 	fn   func(State) bool
 	n    int
 
@@ -302,13 +323,19 @@ func (p *Program) compile(f Formula) (int, error) {
 	case compareFormula:
 		p.atomRefs++
 		key := "k|" + ff.name + "|" + strconv.Itoa(int(ff.op)) + "|" + valueKey(ff.val)
-		return p.internNode(key,
-			pnode{op: opCompare, ref: p.newSlotRef(ff.name), cmp: ff.op, val: ff.val}), nil
+		node := pnode{op: opCompareNum, ref: p.newSlotRef(ff.name), cmp: ff.op, val: ff.val, cval: ff.val.AsNumber()}
+		if ff.val.kind == KindString && (ff.op == OpEq || ff.op == OpNe) {
+			node = pnode{op: opCompareStrEq, ref: p.newSlotRef(ff.name), cmp: ff.op, val: ff.val, eref: p.newEnumRef(ff.val.s)}
+		}
+		return p.internNode(key, node), nil
 	case compareVarsFormula:
 		p.atomRefs++
 		key := "K|" + ff.left + "|" + strconv.Itoa(int(ff.op)) + "|" + ff.right
-		return p.internNode(key,
-			pnode{op: opCompareVars, ref: p.newSlotRef(ff.left), cmp: ff.op, ref2: p.newSlotRef(ff.right)}), nil
+		node := pnode{op: opCompareVars, ref: p.newSlotRef(ff.left), cmp: ff.op, ref2: p.newSlotRef(ff.right)}
+		if ff.op != OpEq && ff.op != OpNe {
+			node.op = opCompareVarsNum
+		}
+		return p.internNode(key, node), nil
 	case predFormula:
 		// Predicate atoms are never shared: two predicates may render and
 		// list variables identically yet close over different functions, so
@@ -438,6 +465,18 @@ func (p *Program) newSlotRef(name string) slotRef {
 		r.slot = p.schema.Intern(name)
 	}
 	return r
+}
+
+// newEnumRef resolves an enumeration-string constant against the program's
+// schema at compile time (lazily on the first step otherwise), mirroring
+// newSlotRef.
+func (p *Program) newEnumRef(s string) enumRef {
+	e := enumRef{s: s}
+	if p.schema != nil {
+		e.schema = p.schema
+		e.id = p.schema.InternString(s)
+	}
+	return e
 }
 
 // valueKey renders a Value with its kind tag for structural identity: the

@@ -24,11 +24,26 @@ type Schema struct {
 	// and State.String; it is invalidated by Intern and rebuilt on demand,
 	// so renders never re-sort an unchanged vocabulary.
 	sorted []int
+
+	// enums / enumIdx intern the enumeration-string values stored in the
+	// register file's small-int plane (e.g. "ACC", "D", "STOP"): each
+	// distinct string is assigned a dense id once, and every State of the
+	// run stores the id.  enums[0] is always "", so a string slot's
+	// truthiness is id != 0.
+	enums   []string
+	enumIdx map[string]int32
 }
+
+// emptyEnumID is the interned id of the empty string in every Schema.
+const emptyEnumID int32 = 0
 
 // NewSchema returns an empty symbol table.
 func NewSchema() *Schema {
-	return &Schema{index: make(map[string]int)}
+	return &Schema{
+		index:   make(map[string]int),
+		enums:   []string{""},
+		enumIdx: map[string]int32{"": emptyEnumID},
+	}
 }
 
 // Intern returns the slot index of name, assigning the next free slot when
@@ -59,6 +74,35 @@ func (sc *Schema) Name(i int) string { return sc.names[i] }
 // Names returns a copy of the interned names in slot order.
 func (sc *Schema) Names() []string {
 	return append([]string(nil), sc.names...)
+}
+
+// InternString returns the dense id of an enumeration-string value,
+// assigning the next free id when the string has not been seen before.  Ids
+// are stable for the lifetime of the schema, so states of one run compare
+// enumeration values by comparing ids.
+func (sc *Schema) InternString(s string) int32 {
+	if id, ok := sc.enumIdx[s]; ok {
+		return id
+	}
+	id := int32(len(sc.enums))
+	sc.enumIdx[s] = id
+	sc.enums = append(sc.enums, s)
+	return id
+}
+
+// LookupString returns the id of an enumeration string without interning it.
+func (sc *Schema) LookupString(s string) (int32, bool) {
+	id, ok := sc.enumIdx[s]
+	return id, ok
+}
+
+// EnumString returns the enumeration string interned at id ("" for ids this
+// schema never assigned).
+func (sc *Schema) EnumString(id int32) string {
+	if id < 0 || int(id) >= len(sc.enums) {
+		return ""
+	}
+	return sc.enums[id]
 }
 
 // sortedSlots returns the slot indices ordered by variable name.  The order

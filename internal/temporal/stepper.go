@@ -210,8 +210,11 @@ func (c *compiler) compile(f Formula) (stepNode, error) {
 	}
 }
 
-// compileAtom lowers an atomic formula to a slot-indexed node (or to the
-// generic Eval node in reference mode).
+// compileAtom lowers an atomic formula to a slot-indexed node reading the
+// register planes directly (or to the generic Eval node in reference mode).
+// The lowering mirrors the Program compiler: comparisons against an
+// enumeration-string constant become an id compare on the enumeration plane,
+// every other comparison a float compare on the number plane.
 func (c *compiler) compileAtom(f Formula) (stepNode, error) {
 	if c.reference {
 		return &atomNode{f: f}, nil
@@ -222,7 +225,10 @@ func (c *compiler) compileAtom(f Formula) (stepNode, error) {
 	case varFormula:
 		return &varNode{ref: c.slotRef(ff.name)}, nil
 	case compareFormula:
-		return &compareNode{ref: c.slotRef(ff.name), op: ff.op, val: ff.val}, nil
+		if ff.val.kind == KindString && (ff.op == OpEq || ff.op == OpNe) {
+			return &compareStrNode{ref: c.slotRef(ff.name), op: ff.op, eref: c.enumRef(ff.val.s)}, nil
+		}
+		return &compareNode{ref: c.slotRef(ff.name), op: ff.op, cval: ff.val.AsNumber()}, nil
 	case compareVarsFormula:
 		return &compareVarsNode{left: c.slotRef(ff.left), op: ff.op, right: c.slotRef(ff.right)}, nil
 	case predFormula:
@@ -253,6 +259,15 @@ func (c *compiler) slotRef(name string) slotRef {
 	return r
 }
 
+func (c *compiler) enumRef(s string) enumRef {
+	e := enumRef{s: s}
+	if c.schema != nil {
+		e.schema = c.schema
+		e.id = c.schema.InternString(s)
+	}
+	return e
+}
+
 func stepsFor(d, period time.Duration) int {
 	if d <= 0 {
 		return 0
@@ -276,14 +291,61 @@ type slotRef struct {
 }
 
 func (r *slotRef) value(st State) Value {
+	slot, ok := r.resolve(st)
+	if !ok {
+		return Value{}
+	}
+	return st.Slot(slot)
+}
+
+// resolve returns the register slot of the reference for st's schema,
+// re-resolving (and caching) on a schema change.  ok is false only for the
+// nil State, whose variables are all absent.
+func (r *slotRef) resolve(st State) (int, bool) {
 	if sc := st.Schema(); sc != r.schema {
-		if sc == nil { // the nil State: every variable is absent
-			return Value{}
+		if sc == nil {
+			return 0, false
 		}
 		r.schema = sc
 		r.slot = sc.Intern(r.name)
 	}
-	return st.Slot(r.slot)
+	return r.slot, true
+}
+
+// boolAt reads the referenced variable with AsBool semantics straight from
+// the register planes.
+func (r *slotRef) boolAt(st State) bool {
+	slot, ok := r.resolve(st)
+	return ok && st.SlotBool(slot)
+}
+
+// numberOK reads the referenced variable with AsNumber/IsValid semantics
+// straight from the register planes.
+func (r *slotRef) numberOK(st State) (float64, bool) {
+	slot, ok := r.resolve(st)
+	if !ok {
+		return 0, false
+	}
+	return st.SlotNumberOK(slot)
+}
+
+// enumRef is an enumeration-string constant resolved to its per-schema
+// interned id, guarded by the same pointer compare as slotRef, so equality
+// against the constant is an int compare on the enumeration plane.
+type enumRef struct {
+	s      string
+	schema *Schema
+	id     int32
+}
+
+// idIn returns the constant's interned id in sc, re-resolving on a schema
+// change.
+func (e *enumRef) idIn(sc *Schema) int32 {
+	if sc != e.schema {
+		e.schema = sc
+		e.id = sc.InternString(e.s)
+	}
+	return e.id
 }
 
 // atomNode evaluates an atom through the generic Formula.Eval string-keyed
@@ -300,23 +362,47 @@ func (n constNode) reset()             {}
 
 type varNode struct{ ref slotRef }
 
-func (n *varNode) step(s *Stepper) bool { return n.ref.value(s.state).AsBool() }
+func (n *varNode) step(s *Stepper) bool { return n.ref.boolAt(s.state) }
 func (n *varNode) reset()               {}
 
+// compareNode compares a slot against a non-string constant (or any constant
+// under an ordered operator) as one float compare on the number plane; cval
+// is the constant's AsNumber, so bools compare as 0/1 and string constants
+// as NaN, exactly as compareValues would.
 type compareNode struct {
-	ref slotRef
-	op  CompareOp
-	val Value
+	ref  slotRef
+	op   CompareOp
+	cval float64
 }
 
 func (n *compareNode) step(s *Stepper) bool {
-	v := n.ref.value(s.state)
-	if !v.IsValid() {
-		return false
-	}
-	return compareValues(v, n.val, n.op)
+	f, ok := n.ref.numberOK(s.state)
+	return ok && compareNumbers(f, n.cval, n.op)
 }
 func (n *compareNode) reset() {}
+
+// compareStrNode compares a slot for (in)equality against an enumeration
+// constant as an id compare on the enumeration plane.
+type compareStrNode struct {
+	ref  slotRef
+	op   CompareOp
+	eref enumRef
+}
+
+func (n *compareStrNode) step(s *Stepper) bool {
+	slot, ok := n.ref.resolve(s.state)
+	if !ok {
+		return false
+	}
+	st := s.state
+	k := st.SlotKind(slot)
+	if k == KindInvalid {
+		return false
+	}
+	match := k == KindString && st.SlotStringID(slot) == n.eref.idIn(st.Schema())
+	return match == (n.op == OpEq)
+}
+func (n *compareStrNode) reset() {}
 
 type compareVarsNode struct {
 	left  slotRef
@@ -325,11 +411,16 @@ type compareVarsNode struct {
 }
 
 func (n *compareVarsNode) step(s *Stepper) bool {
-	lv, rv := n.left.value(s.state), n.right.value(s.state)
-	if !lv.IsValid() || !rv.IsValid() {
-		return false
+	if n.op == OpEq || n.op == OpNe {
+		lv, rv := n.left.value(s.state), n.right.value(s.state)
+		if !lv.IsValid() || !rv.IsValid() {
+			return false
+		}
+		return compareValues(lv, rv, n.op)
 	}
-	return compareValues(lv, rv, n.op)
+	lf, lok := n.left.numberOK(s.state)
+	rf, rok := n.right.numberOK(s.state)
+	return lok && rok && compareNumbers(lf, rf, n.op)
 }
 func (n *compareVarsNode) reset() {}
 

@@ -67,6 +67,10 @@ type Arbiter struct {
 	binding
 }
 
+// DefaultOverrideCheckDelay is the seeded driver-override check delay of the
+// defective Arbiter (the Scenario 4 defect window).
+const DefaultOverrideCheckDelay = 150 * time.Millisecond
+
 // NewArbiter returns an arbiter with all of the thesis' seeded defects
 // enabled.
 func NewArbiter() *Arbiter {
@@ -75,12 +79,20 @@ func NewArbiter() *Arbiter {
 		SteeringStageOverridesAccel: true,
 		EnabledFeaturesJoinSteering: true,
 		PACommandMismatch:           true,
-		OverrideCheckDelay:          150 * time.Millisecond,
+		OverrideCheckDelay:          DefaultOverrideCheckDelay,
 	}
 }
 
 // Name implements sim.Component.
 func (a *Arbiter) Name() string { return "Arbiter" }
+
+// Reset implements sim.Resetter.
+func (a *Arbiter) Reset() {
+	a.prevCommand = 0
+	a.prevCandidate = 0
+	a.candidateChangedAt = 0
+	a.started = false
+}
 
 // Step implements sim.Component.
 func (a *Arbiter) Step(now time.Duration, bus *sim.Bus) {

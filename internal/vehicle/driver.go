@@ -72,6 +72,19 @@ type Driver struct {
 // Name implements sim.Component.
 func (d *Driver) Name() string { return "Driver" }
 
+// Reset implements sim.Resetter: all pedal, HMI and gear state clears and
+// InitialGear re-latches on the next first step.  Schedule and InitialGear
+// are configuration and survive.
+func (d *Driver) Reset() {
+	d.throttle, d.brake, d.steering = 0, 0, 0
+	d.gear = ""
+	d.caEnabled, d.rcaEnabled, d.accEnabled, d.lcaEnabled, d.paEnabled = false, false, false, false, false
+	d.accEngage, d.lcaEngage, d.paEngage = false, false, false
+	d.setSpeed = 0
+	d.hmiGo = false
+	d.started = false
+}
+
 // Step implements sim.Component.
 func (d *Driver) Step(now time.Duration, bus *sim.Bus) {
 	v := d.on(bus)

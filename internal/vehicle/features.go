@@ -16,6 +16,12 @@ type featureOutputs struct {
 	havePrev    bool
 }
 
+// reset clears the request-jerk history; idx is configuration and survives.
+func (f *featureOutputs) reset() {
+	f.prevRequest = 0
+	f.havePrev = false
+}
+
 func (f *featureOutputs) publish(v *busVars, active bool, accelRequest float64, requestingAccel bool,
 	steerRequest float64, requestingSteer bool) {
 
@@ -70,6 +76,13 @@ func NewCollisionAvoidance() *CollisionAvoidance {
 
 // Name implements sim.Component.
 func (c *CollisionAvoidance) Name() string { return "CollisionAvoidance" }
+
+// Reset implements sim.Resetter.
+func (c *CollisionAvoidance) Reset() {
+	c.out.reset()
+	c.braking = false
+	c.since = 0
+}
 
 // Step implements sim.Component.
 func (c *CollisionAvoidance) Step(now time.Duration, bus *sim.Bus) {
@@ -142,6 +155,9 @@ func NewRearCollisionAvoidance() *RearCollisionAvoidance {
 // Name implements sim.Component.
 func (c *RearCollisionAvoidance) Name() string { return "RearCollisionAvoidance" }
 
+// Reset implements sim.Resetter.
+func (c *RearCollisionAvoidance) Reset() { c.out.reset() }
+
 // Step implements sim.Component.
 func (c *RearCollisionAvoidance) Step(_ time.Duration, bus *sim.Bus) {
 	v := c.on(bus)
@@ -202,6 +218,13 @@ func (c *AdaptiveCruiseControl) Name() string { return "AdaptiveCruiseControl" }
 
 // Engaged reports whether ACC is currently engaged.
 func (c *AdaptiveCruiseControl) Engaged() bool { return c.engaged }
+
+// Reset implements sim.Resetter.
+func (c *AdaptiveCruiseControl) Reset() {
+	c.out.reset()
+	c.engaged = false
+	c.setSpeed = 0
+}
 
 // Step implements sim.Component.
 func (c *AdaptiveCruiseControl) Step(_ time.Duration, bus *sim.Bus) {
@@ -293,6 +316,12 @@ func NewLaneChangeAssist() *LaneChangeAssist {
 // Name implements sim.Component.
 func (c *LaneChangeAssist) Name() string { return "LaneChangeAssist" }
 
+// Reset implements sim.Resetter.
+func (c *LaneChangeAssist) Reset() {
+	c.out.reset()
+	c.engaged = false
+}
+
 // Step implements sim.Component.
 func (c *LaneChangeAssist) Step(_ time.Duration, bus *sim.Bus) {
 	v := c.on(bus)
@@ -339,6 +368,12 @@ func NewParkAssist() *ParkAssist {
 
 // Name implements sim.Component.
 func (c *ParkAssist) Name() string { return "ParkAssist" }
+
+// Reset implements sim.Resetter.
+func (c *ParkAssist) Reset() {
+	c.out.reset()
+	c.engaged = false
+}
 
 // Step implements sim.Component.
 func (c *ParkAssist) Step(now time.Duration, bus *sim.Bus) {

@@ -121,26 +121,57 @@ const (
 	sigSuffixSelected        = ".Selected"
 )
 
+// featureSigNames precomputes the standard per-feature signal names for the
+// known features, so the Sig* helpers are allocation-free on the paths that
+// run per variant (bus re-initialisation on a reused arena, handle binding,
+// goal building).  Unknown feature strings still concatenate.
+var featureSigNames = func() map[string][7]string {
+	m := make(map[string][7]string, len(FeatureNames))
+	for _, f := range FeatureNames {
+		m[f] = [7]string{
+			f + sigSuffixActive,
+			f + sigSuffixAccelRequest,
+			f + sigSuffixRequestingAccel,
+			f + sigSuffixSteerRequest,
+			f + sigSuffixRequestingSteer,
+			f + sigSuffixRequestJerk,
+			f + sigSuffixSelected,
+		}
+	}
+	return m
+}()
+
+func featureSig(feature string, idx int, suffix string) string {
+	if names, ok := featureSigNames[feature]; ok {
+		return names[idx]
+	}
+	return feature + suffix
+}
+
 // SigActive returns the Active signal name for a feature.
-func SigActive(feature string) string { return feature + sigSuffixActive }
+func SigActive(feature string) string { return featureSig(feature, 0, sigSuffixActive) }
 
 // SigAccelRequest returns the acceleration-request signal name for a feature.
-func SigAccelRequest(feature string) string { return feature + sigSuffixAccelRequest }
+func SigAccelRequest(feature string) string { return featureSig(feature, 1, sigSuffixAccelRequest) }
 
 // SigRequestingAccel returns the requesting-acceleration flag name.
-func SigRequestingAccel(feature string) string { return feature + sigSuffixRequestingAccel }
+func SigRequestingAccel(feature string) string {
+	return featureSig(feature, 2, sigSuffixRequestingAccel)
+}
 
 // SigSteerRequest returns the steering-request signal name for a feature.
-func SigSteerRequest(feature string) string { return feature + sigSuffixSteerRequest }
+func SigSteerRequest(feature string) string { return featureSig(feature, 3, sigSuffixSteerRequest) }
 
 // SigRequestingSteer returns the requesting-steering flag name.
-func SigRequestingSteer(feature string) string { return feature + sigSuffixRequestingSteer }
+func SigRequestingSteer(feature string) string {
+	return featureSig(feature, 4, sigSuffixRequestingSteer)
+}
 
 // SigRequestJerk returns the request-jerk signal name for a feature.
-func SigRequestJerk(feature string) string { return feature + sigSuffixRequestJerk }
+func SigRequestJerk(feature string) string { return featureSig(feature, 5, sigSuffixRequestJerk) }
 
 // SigSelected returns the arbiter's selected flag name for a feature.
-func SigSelected(feature string) string { return feature + sigSuffixSelected }
+func SigSelected(feature string) string { return featureSig(feature, 6, sigSuffixSelected) }
 
 // Physical and policy parameters.
 const (
@@ -208,6 +239,14 @@ type Dynamics struct {
 
 // Name implements sim.Component.
 func (d *Dynamics) Name() string { return "VehicleDynamics" }
+
+// Reset implements sim.Resetter: the vehicle returns to rest at the origin
+// and re-latches InitialSpeed on the next first step.
+func (d *Dynamics) Reset() {
+	d.speed, d.accel, d.accelRate = 0, 0, 0
+	d.position, d.lane, d.steering = 0, 0, 0
+	d.started = false
+}
 
 // Step implements sim.Component.
 func (d *Dynamics) Step(_ time.Duration, bus *sim.Bus) {
@@ -292,6 +331,13 @@ type Object struct {
 
 // Name implements sim.Component.
 func (o *Object) Name() string { return "Object" }
+
+// Reset implements sim.Resetter: the object re-latches its initial placement
+// relative to the host on the next first step.
+func (o *Object) Reset() {
+	o.position = 0
+	o.started = false
+}
 
 // Step implements sim.Component.
 func (o *Object) Step(_ time.Duration, bus *sim.Bus) {
