@@ -79,7 +79,9 @@ func run(out, bench, benchtime string, count int, pkg string) error {
 	if err != nil {
 		return fmt.Errorf("benchjson: go test: %w", err)
 	}
-	os.Stdout.Write(raw)
+	if _, err := os.Stdout.Write(raw); err != nil {
+		return fmt.Errorf("benchjson: echoing bench output: %w", err)
+	}
 
 	report, err := ParseBenchOutput(strings.NewReader(string(raw)))
 	if err != nil {

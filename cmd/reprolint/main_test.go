@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func diag(file string, line, col int, analyzer, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: col},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestReportText(t *testing.T) {
+	var b strings.Builder
+	diags := []lint.Diagnostic{
+		diag("internal/a.go", 3, 1, "slotbind", "first"),
+		diag("internal/b.go", 9, 5, "determinism", "second"),
+	}
+	if err := report(&b, diags, false); err != nil {
+		t.Fatal(err)
+	}
+	want := "internal/a.go:3: [slotbind] first\ninternal/b.go:9: [determinism] second\n"
+	if b.String() != want {
+		t.Fatalf("text output = %q, want %q", b.String(), want)
+	}
+}
+
+func TestReportNDJSON(t *testing.T) {
+	var b strings.Builder
+	diags := []lint.Diagnostic{
+		diag("internal/a.go", 3, 1, "slotbind", "first"),
+		diag("internal/b.go", 9, 5, "hotpathalloc", "second"),
+	}
+	if err := report(&b, diags, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != len(diags) {
+		t.Fatalf("got %d NDJSON lines, want %d", len(lines), len(diags))
+	}
+	for i, line := range lines {
+		var got jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		want := jsonDiagnostic{
+			File:     diags[i].Pos.Filename,
+			Line:     diags[i].Pos.Line,
+			Col:      diags[i].Pos.Column,
+			Analyzer: diags[i].Analyzer,
+			Message:  diags[i].Message,
+		}
+		if got != want {
+			t.Errorf("line %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestModuleRoot(t *testing.T) {
+	dir := t.TempDir()
+	nested := filepath.Join(dir, "a", "b")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root, err := moduleRoot(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := filepath.EvalSymlinks(dir); root != dir && root != want {
+		t.Fatalf("moduleRoot = %q, want %q", root, dir)
+	}
+}
+
+func TestRunRejectsUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-only", "nosuch"}); code != 2 {
+		t.Fatalf("run(-only nosuch) = %d, want 2", code)
+	}
+}

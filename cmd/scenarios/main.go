@@ -151,7 +151,11 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("-cpuprofile: %w", err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "-cpuprofile: close: %v\n", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return fmt.Errorf("-cpuprofile: %w", err)
 		}
@@ -167,7 +171,9 @@ func run(args []string, w io.Writer) error {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: close: %v\n", err)
+			}
 		}()
 	}
 

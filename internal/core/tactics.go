@@ -148,6 +148,7 @@ func LockoutSubgoals(parentName string, trigger, condA, condB string, window tim
 		},
 		// The shared indirect control relationship: C requires both A and B.
 		Assumption: temporal.Iff(
+			//lint:slotbindok synthesized per-goal condition variable, namespaced under C:, not a bus signal
 			temporal.Var("C:"+parentName),
 			temporal.And(temporal.Prev(temporal.Var(condA)), temporal.Prev(temporal.Var(condB))),
 		),

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerDeterminism checks the bit-for-bit reproducibility invariant of
+// the simulation core: a run's result must be a pure function of its variant
+// key, which is the precondition for idempotent distributed sweep shards
+// (re-running a shard anywhere must reproduce the same summary).  Inside the
+// simulation kernel (internal/sim), the evaluation engine
+// (internal/temporal) and the component packages (internal/vehicle,
+// internal/elevator) the analyzer forbids:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) — simulation time
+//     is the step counter, never the host clock;
+//   - the global math/rand source (package-level calls; a run-owned
+//     rand.New(rand.NewSource(seed)) is fine);
+//   - goroutine launches — concurrency belongs to the Engine worker pool,
+//     which isolates one run per worker;
+//   - map iteration that accumulates into outer state without a sort.* call
+//     after the loop, which would let map order leak into results.
+//
+// Additional packages opt in with a //lint:deterministic file comment;
+// deliberate exceptions carry //lint:detok <reason> on the offending line.
+func analyzerDeterminism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "the simulation core must be a pure function of the variant key",
+		Run:  runDeterminism,
+	}
+}
+
+// deterministicPackages lists the packages in scope by default.
+func deterministicPackages(modPath string) map[string]bool {
+	return map[string]bool{
+		modPath + "/internal/sim":      true,
+		modPath + "/internal/temporal": true,
+		modPath + "/internal/vehicle":  true,
+		modPath + "/internal/elevator": true,
+	}
+}
+
+// randConstructors are the math/rand package functions that build run-owned
+// deterministic generators rather than consulting the global source.
+var randConstructors = map[string]bool{"New": true, "NewSource": true}
+
+func runDeterminism(prog *Program) []Diagnostic {
+	scope := deterministicPackages(prog.ModulePath)
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			if !scope[pkg.Path] && !pkg.Directives.fileHasDirective(file, "deterministic") {
+				continue
+			}
+			diags = append(diags, determinismFile(prog, pkg, file)...)
+		}
+	}
+	return diags
+}
+
+func determinismFile(prog *Program, pkg *Package, file *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(n ast.Node, msg string) {
+		if pkg.Directives.exempted(prog, file, n.Pos(), "determinism", "detok", &diags) {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Position(n.Pos()),
+			Analyzer: "determinism",
+			Message:  msg,
+		})
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		sortCalls := sortCallsByTarget(pkg, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				flag(x, "goroutine launched inside the deterministic simulation core; concurrency belongs to the Engine worker pool (//lint:detok <reason> to exempt)")
+			case *ast.CallExpr:
+				fn := calleeFunc(pkg, x)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				switch fn.Pkg().Path() {
+				case "time":
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						flag(x, fmt.Sprintf("time.%s reads the wall clock; simulation time must come from the step counter so reruns reproduce bit-for-bit (//lint:detok <reason> to exempt)", fn.Name()))
+					}
+				case "math/rand", "math/rand/v2":
+					if sig != nil && sig.Recv() == nil && !randConstructors[fn.Name()] {
+						flag(x, fmt.Sprintf("global math/rand call rand.%s; use a run-owned rand.New(rand.NewSource(seed)) so the variant key fully determines the run (//lint:detok <reason> to exempt)", fn.Name()))
+					}
+				}
+			case *ast.RangeStmt:
+				if isMapRange(pkg, x) {
+					if !mapRangeOrderSafe(pkg, x, sortCalls) {
+						flag(x, "map iteration order can leak into results here; sort what the loop accumulates after the loop, or annotate //lint:detok <reason> if the order is provably irrelevant")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func isMapRange(pkg *Package, r *ast.RangeStmt) bool {
+	t := pkg.Info.TypeOf(r.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// sortCallsByTarget indexes calls into package sort by the object of their
+// first argument's root identifier.
+func sortCallsByTarget(pkg *Package, body *ast.BlockStmt) map[types.Object][]*ast.CallExpr {
+	out := make(map[types.Object][]*ast.CallExpr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+			return true
+		}
+		if obj := rootObject(pkg, call.Args[0]); obj != nil {
+			out[obj] = append(out[obj], call)
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves the base identifier's object of an lvalue-ish
+// expression (x, x[i], x.f, *x ...).
+func rootObject(pkg *Package, expr ast.Expr) types.Object {
+	for {
+		switch x := expr.(type) {
+		case *ast.ParenExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// mapRangeOrderSafe reports whether everything the loop accumulates into
+// outer state is sorted after the loop, which makes the iteration order
+// unobservable.  A loop that accumulates nothing recognisable is treated as
+// unsafe: its effects (calls, channel sends) may still observe the order.
+func mapRangeOrderSafe(pkg *Package, r *ast.RangeStmt, sortCalls map[types.Object][]*ast.CallExpr) bool {
+	written := outerWrites(pkg, r)
+	if len(written) == 0 {
+		return false
+	}
+	for obj := range written {
+		sorted := false
+		for _, call := range sortCalls[obj] {
+			if call.Pos() > r.End() {
+				sorted = true
+				break
+			}
+		}
+		if !sorted {
+			return false
+		}
+	}
+	return true
+}
+
+// outerWrites collects the objects, declared outside the range body, that
+// the body assigns to.
+func outerWrites(pkg *Package, r *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	declaredInside := func(obj types.Object) bool {
+		return obj == nil || (obj.Pos() >= r.Pos() && obj.Pos() <= r.End())
+	}
+	record := func(expr ast.Expr) {
+		if obj := rootObject(pkg, expr); !declaredInside(obj) {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(x.X)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"path"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureNames lists the analyzer fixtures under testdata/src; each "bad"
+// package seeds violations annotated with // want "regexp" comments, and each
+// "clean" package must produce no findings at all.
+var fixtureNames = []string{
+	"resetbad", "resetclean",
+	"slotbindbad", "slotbindclean",
+	"allocbad", "allocclean",
+	"detbad", "detclean",
+}
+
+const fixturePathPrefix = "repro/internal/lint/testdata/src/"
+
+var (
+	fixtureOnce  sync.Once
+	fixtureProg  *Program
+	fixtureDiags []Diagnostic
+	fixtureErr   error
+)
+
+// fixtureProgram loads the module plus every fixture package once and runs
+// the full suite over the combined program.
+func fixtureProgram(t *testing.T) (*Program, []Diagnostic) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		prog, err := LoadModule("../..")
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		for _, name := range fixtureNames {
+			if _, err := prog.LoadExtraDir("testdata/src/"+name, fixturePathPrefix+name); err != nil {
+				fixtureErr = fmt.Errorf("fixture %s: %w", name, err)
+				return
+			}
+		}
+		fixtureProg = prog
+		fixtureDiags, fixtureErr = RunAll(prog)
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixtures: %v", fixtureErr)
+	}
+	return fixtureProg, fixtureDiags
+}
+
+// want is one golden expectation: a diagnostic matching re must be reported
+// at file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`// want "(.*)"$`)
+
+// collectWants parses the // want comments of one fixture package.
+func collectWants(t *testing.T, prog *Program, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Errorf("%s: malformed want comment: %s", prog.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", prog.Position(c.Pos()), m[1], err)
+				}
+				pos := prog.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// TestGoldenFixtures proves each analyzer against its seeded fixtures: every
+// want comment must be matched by exactly one diagnostic on its line, every
+// diagnostic must be expected, and clean fixtures must stay silent.
+func TestGoldenFixtures(t *testing.T) {
+	prog, diags := fixtureProgram(t)
+	for _, name := range fixtureNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pkg := prog.Package(fixturePathPrefix + name)
+			if pkg == nil {
+				t.Fatalf("fixture package %s not loaded", name)
+			}
+			wants := collectWants(t, prog, pkg)
+			if strings.HasSuffix(name, "bad") && len(wants) == 0 {
+				t.Fatalf("bad fixture %s has no want comments", name)
+			}
+			if strings.HasSuffix(name, "clean") && len(wants) > 0 {
+				t.Fatalf("clean fixture %s must not carry want comments", name)
+			}
+
+			var got []Diagnostic
+			dirPrefix := "internal/lint/testdata/src/" + name + "/"
+			for _, d := range diags {
+				if strings.HasPrefix(d.Pos.Filename, dirPrefix) {
+					got = append(got, d)
+				}
+			}
+			for _, d := range got {
+				matched := false
+				for _, w := range wants {
+					if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestFixtureWantsCoverEveryAnalyzer guards the golden corpus itself: each
+// analyzer of the suite must be exercised by at least one seeded finding.
+func TestFixtureWantsCoverEveryAnalyzer(t *testing.T) {
+	_, diags := fixtureProgram(t)
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		if strings.HasPrefix(d.Pos.Filename, "internal/lint/testdata/") {
+			seen[d.Analyzer] = true
+		}
+	}
+	for _, a := range Analyzers() {
+		if !seen[a.Name] {
+			t.Errorf("no fixture finding exercises analyzer %s", a.Name)
+		}
+	}
+}
+
+// TestRepositoryIsLintClean is the merge gate: the module itself (fixtures
+// excluded) must produce zero findings, so every invariant the suite proves
+// holds on the committed tree.
+func TestRepositoryIsLintClean(t *testing.T) {
+	prog, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := RunAll(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository not lint-clean: %s", d)
+	}
+	if t.Failed() {
+		t.Log("run `go run ./cmd/reprolint ./...` and fix or annotate each finding")
+	}
+}
+
+// TestRunAllUnknownAnalyzer covers the -only error path.
+func TestRunAllUnknownAnalyzer(t *testing.T) {
+	prog, _ := fixtureProgram(t)
+	if _, err := RunAll(prog, "nosuch"); err == nil {
+		t.Fatal("expected error for unknown analyzer")
+	}
+}
+
+// TestDiagnosticString pins the file:line: [analyzer] message convention.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "slotbind", Message: "m"}
+	d.Pos.Filename = path.Join("internal", "x.go")
+	d.Pos.Line = 7
+	if got, wantStr := d.String(), "internal/x.go:7: [slotbind] m"; got != wantStr {
+		t.Fatalf("String() = %q, want %q", got, wantStr)
+	}
+}

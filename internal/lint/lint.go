@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, positioned in the analyzed source.
+type Diagnostic struct {
+	// Pos locates the finding; Filename is relative to the module root.
+	Pos token.Position
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Message describes the violated invariant and how to fix or annotate it.
+	Message string
+}
+
+// String renders the diagnostic in the suite's file:line: [analyzer] message
+// convention.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one member of the suite: a named check over a loaded program.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-line description shown by cmd/reprolint.
+	Doc string
+	// Run analyzes the whole program and returns its findings.
+	Run func(*Program) []Diagnostic
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerResetComplete(),
+		analyzerSlotBind(),
+		analyzerHotPathAlloc(),
+		analyzerDeterminism(),
+	}
+}
+
+// RunAll runs every analyzer (or the named subset) over the program and
+// returns the findings sorted by position.
+func RunAll(prog *Program, only ...string) ([]Diagnostic, error) {
+	byName := make(map[string]*Analyzer)
+	all := Analyzers()
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	selected := all
+	if len(only) > 0 {
+		selected = selected[:0:0]
+		for _, name := range only {
+			a, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	var out []Diagnostic
+	for _, a := range selected {
+		out = append(out, a.Run(prog)...)
+	}
+	SortDiagnostics(out)
+	return out, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer, message.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// directive is one //lint:<name> comment with its justification text.
+type directive struct {
+	name   string
+	reason string
+}
+
+// directiveIndex maps file → line → directives on that line, so analyzers can
+// resolve escape hatches by position without re-walking comments.
+type directiveIndex map[*ast.File]map[int][]directive
+
+// buildDirectives scans every comment of the package's files for //lint:
+// directives.
+func buildDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := make(directiveIndex, len(files))
+	for _, f := range files {
+		lines := make(map[int][]directive)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(text, " ")
+				line := fset.Position(c.Pos()).Line
+				lines[line] = append(lines[line], directive{name: name, reason: strings.TrimSpace(reason)})
+			}
+		}
+		idx[f] = lines
+	}
+	return idx
+}
+
+// lookup returns the named directive attached to pos: on the same line or on
+// the line immediately above (the tail of a doc comment).
+func (idx directiveIndex) lookup(fset *token.FileSet, f *ast.File, pos token.Pos, name string) (directive, bool) {
+	lines := idx[f]
+	if lines == nil {
+		return directive{}, false
+	}
+	line := fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, d := range lines[l] {
+			if d.name == name {
+				return d, true
+			}
+		}
+	}
+	return directive{}, false
+}
+
+// exempted resolves an escape hatch for a finding at pos.  A directive with a
+// justification suppresses the finding; a bare directive converts it into a
+// missing-justification diagnostic, so exceptions are always documented.
+func (idx directiveIndex) exempted(prog *Program, f *ast.File, pos token.Pos, analyzer, name string, diags *[]Diagnostic) bool {
+	d, ok := idx.lookup(prog.Fset, f, pos, name)
+	if !ok {
+		return false
+	}
+	if d.reason == "" {
+		*diags = append(*diags, Diagnostic{
+			Pos:      prog.Position(pos),
+			Analyzer: analyzer,
+			Message:  fmt.Sprintf("//lint:%s directive needs a justification (//lint:%s <reason>)", name, name),
+		})
+	}
+	return true
+}
+
+// fileHasDirective reports whether any comment in the file carries the named
+// directive (used for package-scoped opt-ins such as //lint:deterministic).
+func (idx directiveIndex) fileHasDirective(f *ast.File, name string) bool {
+	for _, ds := range idx[f] {
+		for _, d := range ds {
+			if d.name == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package of the analyzed module.
+type Package struct {
+	// Path is the import path ("repro/internal/sim").
+	Path string
+	// Dir is the package directory, absolute.
+	Dir string
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the per-expression type facts analyzers consume.
+	Info *types.Info
+	// Directives indexes the //lint: escape hatches of the package's files.
+	Directives directiveIndex
+}
+
+// Program is a whole analyzed module: every non-test package, parsed into one
+// shared FileSet and type-checked in dependency order against the standard
+// library's source importer.  The module has zero dependencies by design, so
+// loading never leaves GOROOT plus the module tree.
+type Program struct {
+	// Fset positions every file of the program.
+	Fset *token.FileSet
+	// Root is the module root directory, absolute.
+	Root string
+	// ModulePath is the module path from go.mod.
+	ModulePath string
+	// Packages holds the loaded packages in dependency order.
+	Packages []*Package
+
+	byPath map[string]*Package
+	std    types.ImporterFrom
+}
+
+// Package returns the loaded package with the given import path (nil when the
+// program does not contain it).
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// Position resolves a token position and makes the filename relative to the
+// module root, so diagnostics are stable across checkouts.
+func (p *Program) Position(pos token.Pos) token.Position {
+	position := p.Fset.Position(pos)
+	if rel, err := filepath.Rel(p.Root, position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		position.Filename = rel
+	}
+	return position
+}
+
+// Import implements types.Importer: module packages resolve to their already
+// type-checked form, everything else (the standard library) is type-checked
+// from GOROOT source by go/importer's "source" mode.
+func (p *Program) Import(path string) (*types.Package, error) {
+	return p.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (p *Program) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := p.byPath[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: import cycle or load-order bug at %q", path)
+		}
+		return pkg.Types, nil
+	}
+	return p.std.ImportFrom(path, dir, mode)
+}
+
+// LoadModule parses and type-checks every non-test package under the module
+// root (skipping testdata and hidden directories) and returns the analyzable
+// program.  Type errors in any package fail the load: an analyzer's facts are
+// only as sound as the type information under them.
+func LoadModule(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	prog := &Program{
+		Fset:       fset,
+		Root:       root,
+		ModulePath: modPath,
+		byPath:     make(map[string]*Package),
+	}
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement types.ImporterFrom")
+	}
+	prog.std = std
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		pkg, err := parseDir(fset, root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[pkg.Path] = pkg
+	}
+	ordered, err := sortByImports(prog)
+	if err != nil {
+		return nil, err
+	}
+	prog.Packages = ordered
+	for _, pkg := range prog.Packages {
+		if err := prog.check(pkg); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// LoadExtraDir parses and type-checks one directory outside the module's
+// build (an analyzer test fixture under testdata) against the already loaded
+// program, registers it under the given import path, and returns it.  The
+// fixture may import module packages; they resolve to the loaded ones.
+func (p *Program) LoadExtraDir(dir, path string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := parseDirAs(p.Fset, dir, path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	if err := p.check(pkg); err != nil {
+		return nil, err
+	}
+	p.Packages = append(p.Packages, pkg)
+	p.byPath[pkg.Path] = pkg
+	return pkg, nil
+}
+
+// check type-checks one parsed package in place.
+func (p *Program) check(pkg *Package) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: p,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(pkg.Path, p.Fset, pkg.Files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for i, err := range errs {
+			if i == 10 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(errs)-i))
+				break
+			}
+			msgs = append(msgs, err.Error())
+		}
+		return fmt.Errorf("lint: type errors in %s:\n  %s", pkg.Path, strings.Join(msgs, "\n  "))
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	pkg.Directives = buildDirectives(p.Fset, pkg.Files)
+	return nil
+}
+
+// modulePath reads the module path from go.mod.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(rest); err == nil {
+				rest = unq
+			}
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module path in %s", gomod)
+}
+
+// packageDirs lists every directory under root that may hold a package,
+// skipping hidden directories and testdata trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of one module directory, deriving the
+// package's import path from its location.  It returns nil when the directory
+// holds no non-test Go files.
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return parseDirAs(fset, dir, path)
+}
+
+// parseDirAs parses the non-test Go files of dir into a package with the
+// given import path.
+func parseDirAs(fset *token.FileSet, dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// sortByImports orders the module's packages so every package follows its
+// module-internal imports (standard-library imports resolve independently).
+func sortByImports(prog *Program) ([]*Package, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[*Package]int)
+	var ordered []*Package
+	var visit func(pkg *Package, chain []string) error
+	visit = func(pkg *Package, chain []string) error {
+		switch state[pkg] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", strings.Join(append(chain, pkg.Path), " -> "))
+		}
+		state[pkg] = visiting
+		for _, imp := range moduleImports(prog, pkg) {
+			if err := visit(imp, append(chain, pkg.Path)); err != nil {
+				return err
+			}
+		}
+		state[pkg] = done
+		ordered = append(ordered, pkg)
+		return nil
+	}
+	for _, pkg := range prog.Packages {
+		if err := visit(pkg, nil); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// moduleImports resolves a package's module-internal imports, sorted for
+// deterministic load order.
+func moduleImports(prog *Program, pkg *Package) []*Package {
+	seen := make(map[string]bool)
+	var paths []string
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			if prog.byPath[path] != nil {
+				paths = append(paths, path)
+			}
+		}
+	}
+	sort.Strings(paths)
+	out := make([]*Package, len(paths))
+	for i, path := range paths {
+		out[i] = prog.byPath[path]
+	}
+	return out
+}

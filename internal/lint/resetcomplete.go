@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerResetComplete checks the pooled-arena invariant: a component that
+// is reset and reused between runs (its pointer type implements both
+// sim.Component and sim.Resetter) must restore, in Reset, every field its
+// other methods write.  A field Reset misses keeps the previous run's value
+// and corrupts every later run of the arena — the exact cross-run state leak
+// the reuse tests probe dynamically, proven here for all fields at once.
+//
+// Fields are classified from the source: a field is mutable when any method
+// other than Reset assigns it, takes its address, or calls a pointer-receiver
+// method on it; Reset covers a field by mentioning it (assignment, nested
+// reset call, or via a helper method called on the receiver).  Embedded
+// fields are exempt — the vehicle/elevator binding caches deliberately
+// survive Reset so handles stay resolved.  Configuration fields written only
+// by scenario setup are never written by the component's own methods and are
+// therefore naturally out of scope.  Deliberate exceptions carry
+// //lint:resetok <reason> on the field declaration.
+func analyzerResetComplete() *Analyzer {
+	return &Analyzer{
+		Name: "resetcomplete",
+		Doc:  "pooled components must restore every mutable field in Reset",
+		Run:  runResetComplete,
+	}
+}
+
+func runResetComplete(prog *Program) []Diagnostic {
+	simPkg := prog.Package(prog.ModulePath + "/internal/sim")
+	if simPkg == nil {
+		return nil
+	}
+	component := namedInterface(simPkg, "Component")
+	resetter := namedInterface(simPkg, "Resetter")
+	if component == nil || resetter == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		diags = append(diags, resetCompletePackage(prog, pkg, component, resetter)...)
+	}
+	return diags
+}
+
+// namedInterface resolves a package-scope interface type by name.
+func namedInterface(pkg *Package, name string) *types.Interface {
+	obj, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func resetCompletePackage(prog *Program, pkg *Package, component, resetter *types.Interface) []Diagnostic {
+	methods := methodDeclsByType(pkg)
+	structs := structSpecsByType(pkg)
+
+	var diags []Diagnostic
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		spec := structs[tn]
+		if spec == nil {
+			continue
+		}
+		ptr := types.NewPointer(tn.Type())
+		if !types.Implements(ptr, component) || !types.Implements(ptr, resetter) {
+			continue
+		}
+		decls := methods[tn]
+		var resetDecl *ast.FuncDecl
+		for _, d := range decls {
+			if d.Name.Name == "Reset" && d.Type.Params.NumFields() == 0 {
+				resetDecl = d
+			}
+		}
+		if resetDecl == nil {
+			// Reset is promoted from an embedded type; the embedded type is
+			// checked where it is declared.
+			continue
+		}
+
+		fields := structFields(spec)
+		mutable := make(map[string]bool)
+		for _, d := range decls {
+			if d == resetDecl {
+				continue
+			}
+			markMutatedFields(pkg, d, fields, mutable)
+		}
+		covered := fieldsCoveredByReset(pkg, tn, decls, resetDecl)
+
+		for _, f := range fields.ordered {
+			if f.embedded || !mutable[f.name] || covered[f.name] {
+				continue
+			}
+			file := fileFor(pkg, f.pos)
+			if pkg.Directives.exempted(prog, file, f.pos, "resetcomplete", "resetok", &diags) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      prog.Position(f.pos),
+				Analyzer: "resetcomplete",
+				Message: fmt.Sprintf("field %s of %s.%s is written by its methods but not restored in Reset; a pooled arena would leak it into the next run (//lint:resetok <reason> to exempt)",
+					f.name, pkg.Types.Name(), tn.Name()),
+			})
+		}
+	}
+	return diags
+}
+
+// fieldInfo describes one declared struct field.
+type fieldInfo struct {
+	name     string
+	pos      token.Pos
+	embedded bool
+}
+
+type fieldSet struct {
+	ordered []fieldInfo
+	byName  map[string]fieldInfo
+}
+
+func structFields(spec *ast.StructType) fieldSet {
+	fs := fieldSet{byName: make(map[string]fieldInfo)}
+	add := func(f fieldInfo) {
+		fs.ordered = append(fs.ordered, f)
+		fs.byName[f.name] = f
+	}
+	for _, field := range spec.Fields.List {
+		if len(field.Names) == 0 {
+			// Embedded field: named after its type.
+			name := embeddedFieldName(field.Type)
+			if name != "" {
+				add(fieldInfo{name: name, pos: field.Pos(), embedded: true})
+			}
+			continue
+		}
+		for _, id := range field.Names {
+			add(fieldInfo{name: id.Name, pos: id.Pos()})
+		}
+	}
+	return fs
+}
+
+func embeddedFieldName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedFieldName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}
+
+// methodDeclsByType indexes the package's method declarations by receiver
+// type.
+func methodDeclsByType(pkg *Package) map[*types.TypeName][]*ast.FuncDecl {
+	out := make(map[*types.TypeName][]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if tn := receiverTypeName(pkg, fd); tn != nil {
+				out[tn] = append(out[tn], fd)
+			}
+		}
+	}
+	return out
+}
+
+// receiverTypeName resolves the defining TypeName of a method's receiver.
+func receiverTypeName(pkg *Package, fd *ast.FuncDecl) *types.TypeName {
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.Ident:
+			tn, _ := pkg.Info.Uses[x].(*types.TypeName)
+			return tn
+		default:
+			return nil
+		}
+	}
+}
+
+// receiverObject returns the declared receiver variable of a method (nil when
+// the receiver is unnamed).
+func receiverObject(pkg *Package, fd *ast.FuncDecl) types.Object {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return pkg.Info.Defs[names[0]]
+}
+
+// rootFieldOf finds the receiver field an expression is rooted in: for
+// recv.f, recv.f.g, recv.f[i].g and &recv.f it returns "f".
+func rootFieldOf(expr ast.Expr, pkg *Package, recv types.Object) (string, bool) {
+	for {
+		switch x := expr.(type) {
+		case *ast.ParenExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && recv != nil && pkg.Info.Uses[id] == recv {
+				return x.Sel.Name, true
+			}
+			expr = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// markMutatedFields records every struct field the method writes: assignment
+// or inc/dec rooted at the receiver, address-of, or a pointer-receiver method
+// call on the field.
+func markMutatedFields(pkg *Package, fd *ast.FuncDecl, fields fieldSet, mutable map[string]bool) {
+	recv := receiverObject(pkg, fd)
+	if recv == nil || fd.Body == nil {
+		return
+	}
+	mark := func(expr ast.Expr) {
+		if name, ok := rootFieldOf(expr, pkg, recv); ok {
+			if _, isField := fields.byName[name]; isField {
+				mutable[name] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				mark(x.X)
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if s := pkg.Info.Selections[sel]; s != nil {
+					if fn, ok := s.Obj().(*types.Func); ok && pointerReceiver(fn) {
+						mark(sel)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func pointerReceiver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}
+
+// fieldsCoveredByReset collects every receiver field Reset mentions, directly
+// or through helper methods of the same type called on the receiver.
+func fieldsCoveredByReset(pkg *Package, tn *types.TypeName, decls []*ast.FuncDecl, resetDecl *ast.FuncDecl) map[string]bool {
+	byName := make(map[string]*ast.FuncDecl, len(decls))
+	for _, d := range decls {
+		byName[d.Name.Name] = d
+	}
+	covered := make(map[string]bool)
+	visited := map[*ast.FuncDecl]bool{}
+	queue := []*ast.FuncDecl{resetDecl}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if visited[fd] || fd.Body == nil {
+			continue
+		}
+		visited[fd] = true
+		recv := receiverObject(pkg, fd)
+		if recv == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Info.Uses[id] != recv {
+				return true
+			}
+			covered[sel.Sel.Name] = true
+			// A helper method called on the receiver covers what it touches.
+			if helper, ok := byName[sel.Sel.Name]; ok && !visited[helper] {
+				queue = append(queue, helper)
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+// structSpecsByType indexes the package's struct type declarations by their
+// defining TypeName.
+func structSpecsByType(pkg *Package) map[*types.TypeName]*ast.StructType {
+	out := make(map[*types.TypeName]*ast.StructType)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				spec, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := spec.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if tn, ok := pkg.Info.Defs[spec.Name].(*types.TypeName); ok {
+					out[tn] = st
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fileFor locates the parsed file containing pos.
+func fileFor(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package allocclean is the hotpathalloc-clean fixture: a hot path built
+// from the capacity-safe idioms the analyzer recognises, with its slow path
+// behind a documented exception.
+package allocclean
+
+type sample struct {
+	step  int
+	value float64
+}
+
+type arena struct {
+	buf     []float64
+	samples []sample
+}
+
+// Step stands in for the engine's per-step entry point.
+//
+//lint:hotroot fixture entry point standing in for the engine's per-step path
+func Step(a *arena, vals []float64) float64 {
+	a.ensure(len(vals))
+	copy(a.buf, vals)
+	total := 0.0
+	for i, v := range a.buf {
+		s := sample{step: i, value: v}
+		a.samples = append(a.samples, s)
+		total += v
+	}
+	return total
+}
+
+// ensure grows the scratch buffer only when capacity was exceeded — the
+// grow-only idiom whose amortised cost the arenas retain across runs.
+func (a *arena) ensure(n int) {
+	if cap(a.buf) < n {
+		a.buf = make([]float64, n)
+	}
+	a.buf = a.buf[:n]
+}
+
+// Rebuild is the documented slow path: it reallocates the arena wholesale
+// and must never run per step.
+//
+//lint:allocok rebuild runs once per scenario change, never inside the step loop
+func Rebuild(n int) *arena {
+	return &arena{
+		buf:     make([]float64, n),
+		samples: make([]sample, 0, n),
+	}
+}

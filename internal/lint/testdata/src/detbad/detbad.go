@@ -1,0 +1,32 @@
+// Package detbad seeds determinism violations: wall-clock reads, the global
+// rand source, goroutine launches and order-leaking map iteration.
+//
+//lint:deterministic fixture opts into the simulation-core determinism scope
+package detbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+}
+
+func Jitter() int {
+	return rand.Intn(10) // want "global math/rand call rand.Intn"
+}
+
+func Launch(ch chan int) {
+	go send(ch) // want "goroutine launched inside the deterministic simulation core"
+}
+
+func send(ch chan int) { ch <- 1 }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order can leak into results"
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Package detclean is the determinism-clean fixture: run-owned randomness,
+// sorted map accumulation, and a documented wall-clock exception.
+//
+//lint:deterministic fixture opts into the simulation-core determinism scope
+package detclean
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SortedKeys accumulates from a map but sorts before the order can escape.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeededDraw owns its generator; the variant key's seed fully determines it.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Epoch documents a deliberate wall-clock read.
+func Epoch() int64 {
+	//lint:detok fixture documents a deliberate wall-clock exception for wall-time reporting
+	return time.Now().Unix()
+}

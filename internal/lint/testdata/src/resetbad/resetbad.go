@@ -1,0 +1,43 @@
+// Package resetbad seeds resetcomplete violations: pooled components whose
+// Reset forgets fields their other methods mutate.
+package resetbad
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Counter is pooled between runs; Reset restores count but forgets peak and
+// last, so a reused arena would replay the previous run's extremes.
+type Counter struct {
+	name  string
+	count int
+	peak  int     // want "field peak of resetbad.Counter is written by its methods but not restored in Reset"
+	last  float64 // want "field last of resetbad.Counter is written by its methods but not restored in Reset"
+}
+
+func (c *Counter) Name() string { return c.name }
+
+func (c *Counter) Step(now time.Duration, bus *sim.Bus) {
+	c.count++
+	if c.count > c.peak {
+		c.peak = c.count
+	}
+	c.last = now.Seconds()
+}
+
+func (c *Counter) Reset() { c.count = 0 }
+
+// Undocumented hides a leak behind a bare escape hatch; the missing
+// justification is itself a finding.
+type Undocumented struct {
+	//lint:resetok
+	ticks int // want "lint:resetok directive needs a justification"
+}
+
+func (u *Undocumented) Name() string { return "undocumented" }
+
+func (u *Undocumented) Step(now time.Duration, bus *sim.Bus) { u.ticks++ }
+
+func (u *Undocumented) Reset() {}

@@ -1,0 +1,66 @@
+// Package resetclean is the resetcomplete-clean fixture: pooled components
+// whose Reset restores every mutable field, directly, via a helper, or via a
+// documented exception.
+package resetclean
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Gauge restores both of its mutable fields directly in Reset.  The name
+// field is configuration: no method writes it, so it is out of scope.
+type Gauge struct {
+	name  string
+	total float64
+	armed bool
+}
+
+func (g *Gauge) Name() string { return g.name }
+
+func (g *Gauge) Step(now time.Duration, bus *sim.Bus) {
+	g.total += now.Seconds()
+	g.armed = true
+}
+
+func (g *Gauge) Reset() {
+	g.total = 0
+	g.armed = false
+}
+
+// Delegating covers its fields through a helper method called from Reset.
+type Delegating struct {
+	count int
+	mark  bool
+}
+
+func (d *Delegating) Name() string { return "delegating" }
+
+func (d *Delegating) Step(now time.Duration, bus *sim.Bus) {
+	d.count++
+	d.mark = true
+}
+
+func (d *Delegating) Reset() { d.clear() }
+
+func (d *Delegating) clear() {
+	d.count = 0
+	d.mark = false
+}
+
+// Cached documents why its cache survives Reset.
+type Cached struct {
+	//lint:resetok memoised lookups are keyed by name, not run state; rebuilding them each run defeats the cache
+	cache map[string]int
+	n     int
+}
+
+func (c *Cached) Name() string { return "cached" }
+
+func (c *Cached) Step(now time.Duration, bus *sim.Bus) {
+	c.cache["steps"] = c.n
+	c.n++
+}
+
+func (c *Cached) Reset() { c.n = 0 }

@@ -97,6 +97,8 @@ func (s *Registers) Clone() State {
 
 // grow widens the register file to at least the schema width, for states
 // sized before the schema interned further names.
+//
+//lint:allocok schema-growth slow path; runs only when a name was interned after the state was sized, never in steady state
 func (s *Registers) grow() {
 	n := s.schema.Len()
 	if n <= len(s.kinds) {
