@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/elevator"
 	"repro/internal/goals"
 	"repro/internal/hazard"
@@ -525,6 +526,54 @@ func BenchmarkSuiteObserve(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			suite.Observe(state)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Distributed sweep execution (internal/dist)
+// ---------------------------------------------------------------------------
+
+// BenchmarkDistSweep measures the coordinator tax on the 1296-variant huge
+// sweep: SingleProcess is one engine streaming the grid; Coordinator3 runs
+// the same grid through the dist coordinator over three in-process workers —
+// every result NDJSON-encoded, re-parsed, deduplicated, reordered and merged,
+// exactly the work a multi-process deployment adds on top of simulation.
+// The gap between the two is the protocol-and-merge overhead; it should stay
+// a small fraction of the simulation cost.
+func BenchmarkDistSweep(b *testing.B) {
+	sweep := scenarios.HugeSweep()
+	b.Run("SingleProcess", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine := scenarios.NewEngine(scenarios.WithRetention(scenarios.SummaryOnly))
+			acc, err := engine.Accumulate(context.Background(), sweep.Source())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if acc.Runs() != sweep.Size() {
+				b.Fatalf("ran %d of %d variants", acc.Runs(), sweep.Size())
+			}
+		}
+	})
+	b.Run("Coordinator3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			coord, err := dist.New(dist.Options{
+				Workers:   3,
+				Transport: &dist.LocalTransport{Source: sweep.Source},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc, err := coord.Run(context.Background(), sweep.Source(),
+				scenarios.SinkFunc(func(scenarios.StreamResult) error { return nil }))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if acc.Runs() != sweep.Size() {
+				b.Fatalf("merged %d of %d variants", acc.Runs(), sweep.Size())
+			}
 		}
 	})
 }

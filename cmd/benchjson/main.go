@@ -1,17 +1,20 @@
 // Command benchjson runs the repository's headline benchmarks with -benchmem
-// and writes a machine-readable JSON document (BENCH_5.json by default) with
+// and writes a machine-readable JSON document (BENCH_7.json by default) with
 // ns/op, B/op and allocs/op per benchmark, so the performance trajectory of
 // the evaluation hot path is recorded as data rather than prose: CI uploads
 // the file as a build artifact and future PRs diff their numbers against it.
 //
 // The default benchmark set is the perf contract of the sweep hot path:
 // BenchmarkRunSweepSummaryOnly (the end-to-end 40-variant summary-only
-// sweep), BenchmarkBusCommit (the per-step plane-memmove commit) and
-// BenchmarkSuiteObserve (the compiled monitoring plan against one state).
+// sweep), BenchmarkBusCommit (the per-step plane-memmove commit),
+// BenchmarkSuiteObserve (the compiled monitoring plan against one state) and
+// BenchmarkDistSweep (the 1296-variant huge sweep single-process versus
+// through the distributed coordinator, recording the protocol-and-merge
+// overhead of multi-worker execution).
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_5.json] [-bench regex]
+//	go run ./cmd/benchjson [-out BENCH_7.json] [-bench regex]
 //	                       [-benchtime 3x] [-count 1] [-pkg .]
 package main
 
@@ -28,7 +31,7 @@ import (
 )
 
 // defaultBenchRegex selects the headline benchmarks of the perf contract.
-const defaultBenchRegex = "BenchmarkRunSweepSummaryOnly$|BenchmarkBusCommit$|BenchmarkSuiteObserve$"
+const defaultBenchRegex = "BenchmarkRunSweepSummaryOnly$|BenchmarkBusCommit$|BenchmarkSuiteObserve$|BenchmarkDistSweep$"
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
@@ -57,7 +60,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output file")
+	out := flag.String("out", "BENCH_7.json", "output file")
 	bench := flag.String("bench", defaultBenchRegex, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")

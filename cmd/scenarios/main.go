@@ -21,6 +21,13 @@
 // line — so downstream tooling can consume results while the sweep is still
 // running.
 //
+// -shard i/n restricts the evaluation to the i-th of n deterministic variant
+// shards (stable FNV-1a partition of the variant key; see internal/dist), so
+// this binary unchanged is the worker of a distributed sweep — cmd/sweepd is
+// the matching coordinator.  -seed-results loads a ProvedResult NDJSON file
+// into the engine's result cache, so a re-queued shard replays
+// already-proved variants instead of re-simulating them.
+//
 // -cpuprofile and -memprofile write pprof profiles of the evaluation, so
 // sweep hot spots can be inspected without editing code.
 //
@@ -28,6 +35,7 @@
 //
 //	scenarios [-n number] [-detail] [-table53] [-goals] [-corrected]
 //	          [-workers n] [-timeout d] [-sweep] [-sweep-size s]
+//	          [-shard i/n] [-seed-results f]
 //	          [-json] [-stream] [-cache-stats]
 //	          [-cpuprofile f] [-memprofile f]
 package main
@@ -42,7 +50,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
-	"repro/internal/monitor"
+	"repro/internal/dist"
 	"repro/internal/scenarios"
 )
 
@@ -53,66 +61,10 @@ func main() {
 	}
 }
 
-// runReport is the machine-readable record of one monitored run.
-type runReport struct {
-	Name            string  `json:"name"`
-	Scenario        int     `json:"scenario"`
-	InitialSpeed    float64 `json:"initial_speed"`
-	ObjectDistance  float64 `json:"object_distance"`
-	ObjectSpeed     float64 `json:"object_speed"`
-	Gear            string  `json:"gear"`
-	Corrected       bool    `json:"corrected"`
-	Steps           int     `json:"steps"`
-	Collision       bool    `json:"collision"`
-	TerminatedEarly bool    `json:"terminated_early"`
-	Hits            int     `json:"hits"`
-	FalseNegatives  int     `json:"false_negatives"`
-	FalsePositives  int     `json:"false_positives"`
-}
-
-func newRunReport(sr scenarios.StreamResult) runReport {
-	r := sr.Result
-	return runReport{
-		Name:            r.Scenario.Name,
-		Scenario:        r.Scenario.Number,
-		InitialSpeed:    r.Scenario.InitialSpeed,
-		ObjectDistance:  r.Scenario.ObjectDistance,
-		ObjectSpeed:     r.Scenario.ObjectSpeed,
-		Gear:            r.Scenario.Gear,
-		Corrected:       sr.Job.Options.CorrectDefects,
-		Steps:           r.Steps,
-		Collision:       r.Collision,
-		TerminatedEarly: r.TerminatedEarly(),
-		Hits:            r.Summary.Hits,
-		FalseNegatives:  r.Summary.FalseNegatives,
-		FalsePositives:  r.Summary.FalsePositives,
-	}
-}
-
-// batchReport is the machine-readable record of a whole batch or sweep.  In
-// -stream mode it is emitted as the final NDJSON line, without the per-run
-// Results (each run already had its own line).
-type batchReport struct {
-	Runs              int             `json:"runs"`
-	Collisions        int             `json:"collisions"`
-	EarlyTerminations int             `json:"early_terminations"`
-	Aggregate         monitor.Summary `json:"aggregate"`
-	FalseNegativeRate float64         `json:"false_negative_rate"`
-	FalsePositiveRate float64         `json:"false_positive_rate"`
-	Results           []runReport     `json:"results,omitempty"`
-}
-
-func aggregateReport(acc *scenarios.Accumulator) batchReport {
-	sum := acc.Summary()
-	return batchReport{
-		Runs:              acc.Runs(),
-		Collisions:        acc.Collisions(),
-		EarlyTerminations: acc.EarlyTerminations(),
-		Aggregate:         sum,
-		FalseNegativeRate: sum.FalseNegativeRate(),
-		FalsePositiveRate: sum.FalsePositiveRate(),
-	}
-}
+// The machine-readable report shapes (per-run lines and the aggregate
+// trailer/document) live in internal/dist: this binary's NDJSON output IS
+// the distributed worker protocol, and sharing the structs is what makes a
+// merged multi-worker stream byte-identical to a single-process one.
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
@@ -125,6 +77,8 @@ func run(args []string, w io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "bound the whole evaluation; on expiry in-flight runs drain and the partial aggregate is reported (0 = no bound)")
 	sweep := fs.Bool("sweep", false, "evaluate a parameter sweep instead of the ten fixed scenarios")
 	sweepSize := fs.String("sweep-size", "default", "sweep grid preset: default (120 variants), wide (360, adds object speeds), huge (1296, adds speeds, distances and gears where meaningful), tolerance (30, varies the hit-matching window) or defects (120, per-feature defect subsets under perturbed driver schedules)")
+	shard := fs.String("shard", "", "evaluate only shard i/n of the job stream (e.g. 0/3): the deterministic variant-key partition used by distributed sweeps (empty = everything)")
+	seedResults := fs.String("seed-results", "", "load a ProvedResult NDJSON file into the result cache so already-proved variants replay without simulation (requires -sweep, -json or -stream)")
 	cacheStats := fs.Bool("cache-stats", false, "memoize summary-only results by variant label (Engine result cache) and report the hit/miss counters on stderr after the run")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary instead of the rendered tables")
 	stream := fs.Bool("stream", false, "emit NDJSON: one line per completed run, then a final aggregate line")
@@ -140,6 +94,17 @@ func run(args []string, w io.Writer) error {
 	}
 	if *cacheStats && !*sweep && !*asJSON && !*stream {
 		return fmt.Errorf("-cache-stats requires -sweep, -json or -stream: rendered-table runs retain full traces and never consult the summary-only result cache")
+	}
+	if *seedResults != "" && !*sweep && !*asJSON && !*stream {
+		return fmt.Errorf("-seed-results requires -sweep, -json or -stream: rendered-table runs retain full traces and never consult the summary-only result cache")
+	}
+	shardIndex, shardTotal := 0, 1
+	if *shard != "" {
+		var err error
+		shardIndex, shardTotal, err = dist.ParseShard(*shard)
+		if err != nil {
+			return fmt.Errorf("-shard: %w", err)
+		}
 	}
 
 	// Profiling hooks, so sweep hot spots can be inspected without editing
@@ -229,6 +194,10 @@ func run(args []string, w io.Writer) error {
 		}
 		src = scenarios.SliceSource(jobs)
 	}
+	// Sharding composes with every source: each worker of a distributed
+	// sweep enumerates the identical full stream and keeps only the variants
+	// it owns, so no coordination is needed to agree on the partition.
+	src = scenarios.ShardSource(src, shardIndex, shardTotal)
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -249,10 +218,24 @@ func run(args []string, w io.Writer) error {
 		scenarios.WithWorkers(*workers),
 		scenarios.WithRetention(retention),
 	}
-	if *cacheStats {
+	if *cacheStats || *seedResults != "" {
 		engineOpts = append(engineOpts, scenarios.WithResultCache())
 	}
 	engine := scenarios.NewEngine(engineOpts...)
+	if *seedResults != "" {
+		f, err := os.Open(*seedResults)
+		if err != nil {
+			return fmt.Errorf("-seed-results: %w", err)
+		}
+		proved, err := dist.ReadProved(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-seed-results: %w", err)
+		}
+		for _, p := range proved {
+			engine.SeedResult(p.Job(), p.Result)
+		}
+	}
 	if *cacheStats {
 		// The counters are reported however the evaluation path returns, on
 		// stderr so they never corrupt -json/-stream output.
@@ -269,26 +252,26 @@ func run(args []string, w io.Writer) error {
 		enc := json.NewEncoder(w)
 		err := engine.Stream(ctx, src, scenarios.Tee(&acc, scenarios.SinkFunc(
 			func(sr scenarios.StreamResult) error {
-				return enc.Encode(newRunReport(sr))
+				return enc.Encode(dist.NewRunReport(sr))
 			})))
 		// The final aggregate line covers exactly the runs that completed,
 		// so a timed-out stream still ends with a valid partial aggregate.
-		if encErr := enc.Encode(aggregateReport(&acc)); encErr != nil && err == nil {
+		if encErr := enc.Encode(dist.NewAggregateReport(&acc)); encErr != nil && err == nil {
 			err = encErr
 		}
 		return err
 
 	case *asJSON:
-		var runs []runReport
+		var runs []dist.RunReport
 		err := engine.Stream(ctx, src, scenarios.Tee(&acc, scenarios.SinkFunc(
 			func(sr scenarios.StreamResult) error {
-				runs = append(runs, newRunReport(sr))
+				runs = append(runs, dist.NewRunReport(sr))
 				return nil
 			})))
 		// A timed-out evaluation still reports the completed prefix: the
 		// document covers exactly the runs that finished, and the error is
 		// surfaced through the exit status.
-		rep := aggregateReport(&acc)
+		rep := dist.NewAggregateReport(&acc)
 		rep.Results = runs
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -299,7 +282,7 @@ func run(args []string, w io.Writer) error {
 
 	case *sweep:
 		err := engine.Stream(ctx, src, &acc)
-		rep := aggregateReport(&acc)
+		rep := dist.NewAggregateReport(&acc)
 		fmt.Fprintf(w, "Sweep: %d runs, %d collisions, %d early terminations\n",
 			rep.Runs, rep.Collisions, rep.EarlyTerminations)
 		fmt.Fprintf(w, "Aggregate: %s\n", rep.Aggregate)

@@ -1,0 +1,144 @@
+// Command sweepd coordinates a distributed parameter sweep: it spawns N
+// worker processes — each the ordinary scenarios binary running `-shard i/n
+// -stream` — and merges their NDJSON result streams back into the
+// single-process output contract.  The merged stream (and the final
+// aggregate) is byte-identical to `scenarios -sweep -stream` over the same
+// grid, including when workers are killed mid-sweep: dead shards are
+// re-queued, replacement workers are seeded with every already-proved
+// variant, and duplicate deliveries are dropped by variant key.
+//
+// Usage:
+//
+//	sweepd [-worker path] [-workers n] [-sweep-size s] [-n number]
+//	       [-corrected] [-worker-pool n] [-stall-timeout d] [-retries k]
+//	       [-timeout d] [-stream]
+//
+// -worker names the scenarios binary (default "scenarios", resolved via
+// PATH).  -workers is the shard count.  Without -stream, only the final
+// "Sweep:" summary lines are printed, matching `scenarios -sweep`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/scenarios"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	worker := fs.String("worker", "scenarios", "path to the scenarios worker binary")
+	workers := fs.Int("workers", 3, "number of worker processes (= shard count)")
+	sweepSize := fs.String("sweep-size", "default", "sweep grid preset, as in scenarios -sweep-size")
+	number := fs.Int("n", 0, "sweep only the given thesis scenario's family (0 = all)")
+	corrected := fs.Bool("corrected", false, "ablation: sweep only the corrected configuration")
+	workerPool := fs.Int("worker-pool", 0, "per-worker engine pool size, passed through as scenarios -workers (0 = worker default)")
+	stallTimeout := fs.Duration("stall-timeout", 2*time.Minute, "kill and re-queue a worker silent for this long (0 disables)")
+	retries := fs.Int("retries", 2, "replacement workers allowed per shard before the sweep fails")
+	timeout := fs.Duration("timeout", 0, "bound the whole distributed sweep (0 = no bound)")
+	stream := fs.Bool("stream", false, "emit the merged NDJSON stream (run lines in source order, then the aggregate line) instead of the rendered summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", *workers)
+	}
+
+	// The coordinator and every worker must enumerate the same grid; build
+	// the worker argv from the exact flags that shape the local source below.
+	argv := []string{*worker, "-sweep", "-sweep-size", *sweepSize, "-stream"}
+	if *number != 0 {
+		argv = append(argv, "-n", strconv.Itoa(*number))
+	}
+	if *corrected {
+		argv = append(argv, "-corrected")
+	}
+	if *workerPool > 0 {
+		argv = append(argv, "-workers", strconv.Itoa(*workerPool))
+	}
+
+	src, err := sweepSource(*sweepSize, *number, *corrected)
+	if err != nil {
+		return err
+	}
+
+	coord, err := dist.New(dist.Options{
+		Workers:      *workers,
+		Transport:    &dist.ExecTransport{Argv: argv, Stderr: os.Stderr},
+		StallTimeout: *stallTimeout,
+		MaxRetries:   *retries,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var sink scenarios.ResultSink = scenarios.SinkFunc(func(scenarios.StreamResult) error { return nil })
+	if *stream {
+		enc := json.NewEncoder(w)
+		sink = scenarios.SinkFunc(func(sr scenarios.StreamResult) error {
+			return enc.Encode(dist.NewRunReport(sr))
+		})
+	}
+
+	acc, err := coord.Run(ctx, src, sink)
+	if err != nil {
+		return err
+	}
+	rep := dist.NewAggregateReport(acc)
+	if *stream {
+		return json.NewEncoder(w).Encode(rep)
+	}
+	fmt.Fprintf(w, "Sweep: %d runs, %d collisions, %d early terminations\n",
+		rep.Runs, rep.Collisions, rep.EarlyTerminations)
+	fmt.Fprintf(w, "Aggregate: %s\n", rep.Aggregate)
+	fmt.Fprintf(w, "Interpretation: %s\n", rep.Aggregate.CompositionEvidence())
+	return nil
+}
+
+// sweepSource builds the coordinator's own enumeration of the grid — the
+// same narrowing rules as cmd/scenarios, so both sides agree on the stream.
+func sweepSource(size string, number int, corrected bool) (scenarios.JobSource, error) {
+	sw, err := scenarios.SweepBySize(size)
+	if err != nil {
+		return nil, err
+	}
+	if corrected {
+		for i := range sw.Families {
+			sw.Families[i].OptionSets = []scenarios.Options{{CorrectDefects: true}}
+		}
+	}
+	if number != 0 {
+		var kept []scenarios.Family
+		for _, f := range sw.Families {
+			if f.Base.Number == number {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("no scenario numbered %d", number)
+		}
+		sw.Families = kept
+	}
+	return sw.Source(), nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
+		t.Error("bad flags should be an error")
+	}
+	if err := run([]string{"-workers", "0"}, io.Discard); err == nil {
+		t.Error("-workers 0 should be rejected")
+	}
+	if err := run([]string{"-sweep-size", "enormous"}, io.Discard); err == nil {
+		t.Error("unknown -sweep-size should be rejected")
+	}
+	if err := run([]string{"-n", "99"}, io.Discard); err == nil {
+		t.Error("unknown scenario number should be rejected")
+	}
+	if err := run([]string{"-worker", "/definitely/not/a/binary"}, io.Discard); err == nil {
+		t.Error("an unstartable worker binary should fail the run")
+	}
+}
+
+// TestRunDistributedSummary drives the full command path against real worker
+// processes: a 2-worker distributed family sweep whose rendered summary must
+// match the single-process `scenarios -sweep` summary exactly.
+func TestRunDistributedSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 12-variant scenario-7 family twice across processes")
+	}
+	bin := filepath.Join(t.TempDir(), "scenarios")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/scenarios")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building scenarios worker: %v\n%s", err, out)
+	}
+
+	single := exec.Command(bin, "-sweep", "-n", "7")
+	var want bytes.Buffer
+	single.Stdout = &want
+	if err := single.Run(); err != nil {
+		t.Fatalf("single-process sweep: %v", err)
+	}
+
+	var got bytes.Buffer
+	if err := run([]string{"-worker", bin, "-workers", "2", "-n", "7"}, &got); err != nil {
+		t.Fatalf("distributed sweep: %v", err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("distributed summary differs from single-process summary:\n--- single ---\n%s--- distributed ---\n%s", want.String(), got.String())
+	}
+	if !strings.Contains(got.String(), "Sweep: 12 runs") {
+		t.Errorf("summary should cover the 12-variant family, got:\n%s", got.String())
+	}
+}

@@ -34,7 +34,7 @@
 // compiled program per tolerance — and the steady state of a summary-only
 // sweep allocates nothing per simulation step (gated by
 // testing.AllocsPerRun regression tests, with before/after numbers recorded
-// in README.md and BENCH_5.json).
+// in README.md and the committed benchmark baseline).
 //
 // Monitoring is evaluated as one composed artifact: temporal.Program
 // compiles every goal and subgoal formula of a monitor suite into a single
@@ -60,6 +60,18 @@
 // and leaves a valid partial aggregate in the Accumulator sink.  The batch
 // entry points (scenarios.Runner, RunAll, RunSweep) remain as thin
 // compatibility wrappers over the Engine.
+//
+// Sweeps also run distributed (internal/dist): jobs are partitioned across
+// worker processes by a deterministic shard key — the FNV-1a hash of each
+// variant's canonical identity (scenarios.Job.Key), a pure function of the
+// variant, so every process derives the same partition without coordination —
+// and a coordinator (cmd/sweepd) merges the workers' NDJSON streams back
+// through the ordered-sink path, deduplicated by key and folded through
+// Accumulator.Merge, producing output byte-identical to a single process.
+// Dead or stalled workers are re-queued with the proved prefix of their shard
+// seeded into the replacement's result cache, so fault recovery re-simulates
+// only what was genuinely lost; the SIGKILL chaos test proves the merged
+// stream survives worker loss unchanged.
 //
 // See README.md for the package layout, the Engine / parameter-sweep API and
 // the build-and-test workflow.  The benchmarks in bench_test.go regenerate

@@ -1,0 +1,361 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/scenarios"
+)
+
+// Hooks are optional observation points, used by tests to inject failures
+// (killing a worker after its k-th result) and by front-ends for progress.
+// Both may be nil; both are called from the coordinator's main loop.
+type Hooks struct {
+	// OnSpawn fires after a worker for the given shard and attempt (0-based)
+	// has started.
+	OnSpawn func(shard, attempt int, w Worker)
+	// OnResult fires for every run line a worker delivers, before
+	// deduplication, with the variant key it carries.
+	OnResult func(shard, attempt int, key string)
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers is the shard count — one worker per shard.  Values below 1
+	// default to 1.
+	Workers int
+	// Transport spawns the workers.  Required.
+	Transport Transport
+	// StallTimeout kills a worker that has produced no output line for this
+	// long, triggering a re-queue.  Zero disables stall detection (process
+	// exit still triggers re-queue).
+	StallTimeout time.Duration
+	// MaxRetries bounds replacement workers per shard; a shard that dies
+	// more than MaxRetries times fails the whole run.  Zero means no
+	// replacements.
+	MaxRetries int
+	// Hooks observes spawns and results.
+	Hooks Hooks
+}
+
+// Coordinator runs a JobSource across sharded workers and merges their
+// streams back into the single-process contract: the sink sees every variant
+// exactly once, in global source order, and the returned Accumulator equals
+// the one a single process would have produced.
+type Coordinator struct {
+	opts Options
+}
+
+// New validates options into a Coordinator.
+func New(opts Options) (*Coordinator, error) {
+	if opts.Transport == nil {
+		return nil, errors.New("dist: Coordinator needs a Transport")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	return &Coordinator{opts: opts}, nil
+}
+
+// jobRef is the coordinator's record of one enumerated variant.
+type jobRef struct {
+	index int
+	job   scenarios.Job
+	shard int
+}
+
+// arrival is one parsed run line.
+type arrival struct {
+	shard, attempt int
+	report         RunReport
+}
+
+// exitEvent is one worker termination, after its output is fully drained.
+type exitEvent struct {
+	shard, attempt int
+	err            error
+}
+
+// Run executes src across the configured workers and streams the merged
+// results to sink in global source order.  It returns the merged Accumulator;
+// on failure the sink has seen a prefix of the stream and the error reports
+// the first unrecoverable fault (a shard exceeding MaxRetries, a corrupt
+// protocol stream, a sink error, or cancellation).
+func (c *Coordinator) Run(ctx context.Context, src scenarios.JobSource, sink scenarios.ResultSink) (*scenarios.Accumulator, error) {
+	n := c.opts.Workers
+
+	// Enumerate the source once to know, independently of any worker, what
+	// "complete" means: every variant, its global index, and its owner shard.
+	// The shard key contract requires unique keys; enforce it here so a
+	// violating source fails loudly instead of silently losing variants to
+	// deduplication.
+	var jobs []jobRef
+	byName := make(map[string]jobRef)
+	seenKeys := make(map[string]struct{})
+	shardRemaining := make([]int, n)
+	for {
+		job, ok := src.Next()
+		if !ok {
+			break
+		}
+		key := job.Key()
+		if _, dup := seenKeys[key]; dup {
+			return nil, fmt.Errorf("dist: duplicate variant key %q in source", key)
+		}
+		seenKeys[key] = struct{}{}
+		name := job.Scenario.Name
+		if _, dup := byName[name]; dup {
+			return nil, fmt.Errorf("dist: duplicate variant name %q in source", name)
+		}
+		ref := jobRef{index: len(jobs), job: job, shard: job.Shard(n)}
+		byName[name] = ref
+		jobs = append(jobs, ref)
+		shardRemaining[ref.shard]++
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	arrivals := make(chan arrival, 64)
+	exits := make(chan exitEvent, n)
+
+	st := &runState{
+		c:              c,
+		ctx:            ctx,
+		arrivals:       arrivals,
+		exits:          exits,
+		shardRemaining: shardRemaining,
+		remaining:      len(jobs),
+		byName:         byName,
+		total:          n,
+		attempt:        make([]int, n),
+		workers:        make([]Worker, n),
+		lastSeen:       make([]time.Time, n),
+		delivered:      make(map[string]struct{}),
+		pending:        make(map[int]scenarios.StreamResult),
+		accs:           make([]*scenarios.Accumulator, n),
+	}
+	for i := range st.accs {
+		st.accs[i] = &scenarios.Accumulator{}
+	}
+	defer st.reapAll()
+
+	for shard := 0; shard < n; shard++ {
+		if err := st.spawn(shard); err != nil {
+			return nil, err
+		}
+	}
+
+	var stall <-chan time.Time
+	if c.opts.StallTimeout > 0 {
+		t := time.NewTicker(c.opts.StallTimeout / 2)
+		defer t.Stop()
+		stall = t.C
+	}
+
+	for st.remaining > 0 {
+		select {
+		case a := <-arrivals:
+			if err := st.handleArrival(a, sink); err != nil {
+				return nil, err
+			}
+		case e := <-exits:
+			if err := st.handleExit(e); err != nil {
+				return nil, err
+			}
+		case now := <-stall:
+			st.killStalled(now)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	// Merge the per-shard partials in shard order.  Merge order does not
+	// affect the aggregate (TestAccumulatorMergeEquivalence); a fixed order
+	// just keeps the walk deterministic.
+	merged := &scenarios.Accumulator{}
+	for _, acc := range st.accs {
+		merged.Merge(acc)
+	}
+	return merged, nil
+}
+
+// runState is the bookkeeping of one Run call, owned by the main loop.
+type runState struct {
+	c        *Coordinator
+	ctx      context.Context
+	arrivals chan arrival
+	exits    chan exitEvent
+
+	byName         map[string]jobRef
+	total          int
+	shardRemaining []int // undelivered variants per shard
+	remaining      int   // undelivered variants overall
+
+	attempt  []int // current attempt per shard
+	workers  []Worker
+	lastSeen []time.Time
+	live     int
+
+	delivered map[string]struct{}            // variant keys already merged
+	proved    []ProvedResult                 // merged results, arrival order
+	pending   map[int]scenarios.StreamResult // out-of-order buffer by index
+	next      int                            // next index owed to the sink
+	accs      []*scenarios.Accumulator
+}
+
+// spawn starts (or restarts) the worker for one shard, seeding every variant
+// already proved by any worker so the replacement replays them from cache.
+func (st *runState) spawn(shard int) error {
+	if st.shardRemaining[shard] == 0 {
+		return nil
+	}
+	attempt := st.attempt[shard]
+	spec := ShardSpec{Index: shard, Total: st.total}
+	if attempt > 0 {
+		spec.Seed = st.proved
+	}
+	w, err := st.c.opts.Transport.Start(st.ctx, spec)
+	if err != nil {
+		return fmt.Errorf("dist: spawning shard %s attempt %d: %w", spec, attempt, err)
+	}
+	st.workers[shard] = w
+	st.lastSeen[shard] = time.Now()
+	st.live++
+	go readWorker(w, shard, attempt, st.arrivals, st.exits)
+	if h := st.c.opts.Hooks.OnSpawn; h != nil {
+		h(shard, attempt, w)
+	}
+	return nil
+}
+
+// readWorker drains one worker's protocol stream, forwarding run lines and
+// finally its exit (Wait error, or the protocol error that stopped reading).
+func readWorker(w Worker, shard, attempt int, arrivals chan<- arrival, exits chan<- exitEvent) {
+	var readErr error
+	sc := bufio.NewScanner(w.Output())
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	for sc.Scan() {
+		rep, ok, err := ParseResultLine(sc.Bytes())
+		if err != nil {
+			readErr = err
+			break
+		}
+		if ok {
+			arrivals <- arrival{shard: shard, attempt: attempt, report: rep}
+		}
+	}
+	if readErr == nil {
+		readErr = sc.Err()
+	}
+	waitErr := w.Wait()
+	if readErr == nil {
+		readErr = waitErr
+	}
+	exits <- exitEvent{shard: shard, attempt: attempt, err: readErr}
+}
+
+// handleArrival merges one run line: dedup by variant key, fold into the
+// owner shard's accumulator, release contiguous results to the sink.
+func (st *runState) handleArrival(a arrival, sink scenarios.ResultSink) error {
+	if a.attempt == st.attempt[a.shard] {
+		st.lastSeen[a.shard] = time.Now()
+	}
+	ref, ok := st.byName[a.report.Name]
+	if !ok {
+		return fmt.Errorf("dist: shard %d reported unknown variant %q", a.shard, a.report.Name)
+	}
+	key := ref.job.Key()
+	if h := st.c.opts.Hooks.OnResult; h != nil {
+		h(a.shard, a.attempt, key)
+	}
+	if _, dup := st.delivered[key]; dup {
+		return nil // idempotent re-delivery from a re-queued or slow worker
+	}
+	st.delivered[key] = struct{}{}
+	res := a.report.Result(ref.job)
+	st.proved = append(st.proved, ProvedResult{Options: ref.job.Options, Result: res})
+	st.accs[ref.shard].Add(res)
+	st.shardRemaining[ref.shard]--
+	st.remaining--
+
+	st.pending[ref.index] = scenarios.StreamResult{Index: ref.index, Job: ref.job, Result: res}
+	for {
+		sr, ok := st.pending[st.next]
+		if !ok {
+			return nil
+		}
+		delete(st.pending, st.next)
+		st.next++
+		if err := sink.Consume(sr); err != nil {
+			return fmt.Errorf("dist: sink: %w", err)
+		}
+	}
+}
+
+// handleExit reaps one worker.  An exit with the shard complete is success
+// regardless of the exit error (the coordinator's own bookkeeping is the
+// truth); an exit with work outstanding re-queues the shard until MaxRetries
+// is exhausted.
+func (st *runState) handleExit(e exitEvent) error {
+	if e.attempt != st.attempt[e.shard] {
+		return nil // an already-replaced worker finally reaped
+	}
+	st.workers[e.shard] = nil
+	st.live--
+	if st.shardRemaining[e.shard] == 0 {
+		return nil
+	}
+	if st.attempt[e.shard] >= st.c.opts.MaxRetries {
+		return fmt.Errorf("dist: shard %d/%d failed after %d attempt(s), %d variant(s) unfinished: %w",
+			e.shard, st.total, st.attempt[e.shard]+1, st.shardRemaining[e.shard], exitError(e.err))
+	}
+	st.attempt[e.shard]++
+	return st.spawn(e.shard)
+}
+
+// exitError normalizes a nil worker error (a clean exit that nevertheless
+// left work undone) into something reportable.
+func exitError(err error) error {
+	if err == nil {
+		return errors.New("worker exited without finishing its shard")
+	}
+	return err
+}
+
+// killStalled kills current workers that have been silent past the stall
+// timeout; the resulting exit event re-queues their shards.
+func (st *runState) killStalled(now time.Time) {
+	for shard, w := range st.workers {
+		if w == nil || st.shardRemaining[shard] == 0 {
+			continue
+		}
+		if now.Sub(st.lastSeen[shard]) > st.c.opts.StallTimeout {
+			w.Kill()
+		}
+	}
+}
+
+// reapAll kills every live worker and waits for its reader goroutine to
+// finish, so Run never leaks goroutines or child processes — on success,
+// on error, and on cancellation alike.
+func (st *runState) reapAll() {
+	for _, w := range st.workers {
+		if w != nil {
+			w.Kill()
+		}
+	}
+	for st.live > 0 {
+		select {
+		case <-st.arrivals: // discard: the run is over
+		case <-st.exits:
+			st.live--
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package dist runs a scenario sweep across multiple worker processes and
+// merges their result streams back into the single-process evaluation
+// contract: the merged NDJSON stream and final aggregate of a distributed
+// run are byte-identical to what one process streaming the same JobSource
+// would have produced — including when workers die mid-sweep.
+//
+// The design takes Kopetz's system-of-systems framing seriously: once the
+// evaluation spans processes, the evaluation itself is a composite of
+// independently-failing constituents, so a lost worker is an expected event
+// the coordinator absorbs, not an assertion failure.  Three mechanisms make
+// that safe:
+//
+// # Deterministic sharding (the shard key contract)
+//
+// Work is partitioned by stable variant key, never by arrival order.  Every
+// job has a canonical identity, scenarios.Job.Key — scenario name, effective
+// duration, full options label — and an owner shard, scenarios.Job.Shard(n),
+// the FNV-1a hash of that key mod the worker count.  Both are pure functions
+// of the variant, independent of process, platform and Go version, so the
+// coordinator and every worker agree on the partition without communicating:
+// a worker is just the ordinary scenarios binary running
+// `-shard i/n`, which wraps its own enumeration of the same source in
+// scenarios.ShardSource.  The contract requires variant keys to be unique
+// within a source (every sweep generator guarantees this); the coordinator
+// rejects sources that violate it.
+//
+// # Coordinated merge
+//
+// The Coordinator spawns one worker per shard through a small Transport
+// interface (ExecTransport runs local processes; LocalTransport runs
+// in-process engines; an HTTP or socket transport can implement the same two
+// methods).  Each worker streams RunReport NDJSON lines; the coordinator
+// maps each line back to the job it enumerated itself, rebuilds the
+// scenarios.Result, and delivers it through the ordered ResultSink path —
+// deduplicated by variant key, reordered into global source order, folded
+// into one Accumulator per shard.  When every variant has been delivered the
+// per-shard accumulators are merged (Accumulator.Merge, order-independent)
+// into the final aggregate.
+//
+// # Re-queue and idempotence
+//
+// Worker loss is detected two ways: process exit with the shard incomplete,
+// and a per-shard stall timeout (no output line for StallTimeout).  Either
+// way the shard is re-queued: a replacement worker is spawned for the same
+// `-shard i/n` slice, seeded (ProvedResult NDJSON via `-seed-results`) with
+// every variant any worker already proved, so the engine's result cache
+// replays the proved prefix instead of re-simulating it and only the
+// genuinely unfinished variants cost simulation time.  Re-delivery is
+// harmless by construction: results are idempotent by variant key, and a
+// slow-then-recovered worker's duplicates are dropped at the coordinator's
+// dedup sink.  Every variant therefore reaches the output exactly once, in
+// source order, whatever the failure history.
+package dist

@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+
+	"repro/internal/scenarios"
+)
+
+// LocalTransport runs each shard as an in-process streaming Engine writing
+// the worker protocol into a pipe.  It exercises every coordinator code path
+// — sharded enumeration, seeded caches, kills, re-queues — without spawning
+// processes, so coordinator logic is testable (and benchmarkable) at full
+// fidelity; ExecTransport is the same contract with a process boundary.
+type LocalTransport struct {
+	// Source returns a fresh enumeration of the full job stream, exactly as
+	// each worker process would enumerate it itself.
+	Source func() scenarios.JobSource
+	// Workers sizes each in-process engine's pool (non-positive defaults to
+	// GOMAXPROCS).
+	Workers int
+}
+
+// errWorkerKilled is the terminal error of a killed local worker.
+var errWorkerKilled = errors.New("dist: local worker killed")
+
+// Start implements Transport.
+func (t *LocalTransport) Start(ctx context.Context, spec ShardSpec) (Worker, error) {
+	if t.Source == nil {
+		return nil, errors.New("dist: LocalTransport needs a Source")
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	pr, pw := io.Pipe()
+	w := &localWorker{out: pr, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		engine := scenarios.NewEngine(
+			scenarios.WithWorkers(t.Workers),
+			scenarios.WithRetention(scenarios.SummaryOnly),
+			scenarios.WithResultCache(),
+		)
+		for _, p := range spec.Seed {
+			engine.SeedResult(p.Job(), p.Result)
+		}
+		enc := json.NewEncoder(pw)
+		src := scenarios.ShardSource(t.Source(), spec.Index, spec.Total)
+		w.err = engine.Stream(wctx, src, scenarios.SinkFunc(func(sr scenarios.StreamResult) error {
+			return enc.Encode(NewRunReport(sr))
+		}))
+		pw.Close()
+	}()
+	return w, nil
+}
+
+// localWorker is one in-process shard evaluation.
+type localWorker struct {
+	out    *io.PipeReader
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+}
+
+// Output implements Worker.
+func (w *localWorker) Output() io.Reader { return w.out }
+
+// Wait implements Worker.
+func (w *localWorker) Wait() error {
+	<-w.done
+	return w.err
+}
+
+// Kill implements Worker: the stream stops abruptly — the reader sees the
+// kill error instead of a clean EOF, and any in-flight write fails — which
+// is as close to SIGKILL as an in-process worker gets.
+func (w *localWorker) Kill() error {
+	w.cancel()
+	return w.out.CloseWithError(errWorkerKilled)
+}

@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+// runScenario7 evaluates the fixed scenario 7 once with the given retention
+// and returns the StreamResult.
+func runScenario7(t *testing.T, retention scenarios.Retention) scenarios.StreamResult {
+	t.Helper()
+	sc, ok := scenarios.ScenarioByNumber(7)
+	if !ok {
+		t.Fatal("scenario 7 missing")
+	}
+	engine := scenarios.NewEngine(scenarios.WithRetention(retention))
+	var got scenarios.StreamResult
+	err := engine.Stream(context.Background(),
+		scenarios.SliceSource([]scenarios.Job{{Scenario: sc}}),
+		scenarios.SinkFunc(func(sr scenarios.StreamResult) error {
+			got = sr
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestResultJSONRoundTrip is the NDJSON wire-contract test: a marshalled
+// Result survives unmarshal → marshal byte-identically (field order, float
+// formatting), and the trace-bearing fields never leak into the JSON even
+// when the in-memory Result retains them.
+func TestResultJSONRoundTrip(t *testing.T) {
+	sr := runScenario7(t, scenarios.KeepTrace)
+	if sr.Result.Trace == nil {
+		t.Fatal("KeepTrace run should retain the trace; the leak check below would be vacuous")
+	}
+
+	first, err := json.Marshal(sr.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leak := range []string{"trace", "suite", "detections", "Trace", "Suite", "Detections"} {
+		if bytes.Contains(first, []byte(`"`+leak+`"`)) {
+			t.Errorf("marshalled Result leaks retention-dependent field %q: %s", leak, first)
+		}
+	}
+
+	var back scenarios.Result
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("Result does not round-trip byte-identically:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}
+
+// TestRunReportRoundTrip checks the per-run protocol line round-trips
+// byte-identically and that Result() is NewRunReport's inverse: the rebuilt
+// result re-marshals to the same line the worker emitted.
+func TestRunReportRoundTrip(t *testing.T) {
+	sr := runScenario7(t, scenarios.SummaryOnly)
+	rep := NewRunReport(sr)
+
+	first, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("RunReport does not round-trip byte-identically:\nfirst:  %s\nsecond: %s", first, second)
+	}
+
+	rebuilt := back.Result(sr.Job)
+	again := NewRunReport(scenarios.StreamResult{Index: sr.Index, Job: sr.Job, Result: rebuilt})
+	if again != rep {
+		t.Errorf("rebuilt result reports differently:\noriginal: %+v\nrebuilt:  %+v", rep, again)
+	}
+}
+
+// TestProvedResultRoundTrip checks the seed-file format: write → read
+// preserves every proved result and Job() reassembles the original variant
+// key, which is what the cache seeds under.
+func TestProvedResultRoundTrip(t *testing.T) {
+	sr := runScenario7(t, scenarios.SummaryOnly)
+	proved := []ProvedResult{
+		{Options: sr.Job.Options, Result: sr.Result},
+		{Options: scenarios.Options{CorrectDefects: true}, Result: sr.Result},
+	}
+	var buf bytes.Buffer
+	if err := WriteProved(&buf, proved); err != nil {
+		t.Fatal(err)
+	}
+	withBlanks := "\n" + strings.Replace(buf.String(), "\n", "\n\n", 1)
+	back, err := ReadProved(strings.NewReader(withBlanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(proved) {
+		t.Fatalf("read %d proved results, wrote %d", len(back), len(proved))
+	}
+	for i := range proved {
+		if back[i].Job().Key() != proved[i].Job().Key() {
+			t.Errorf("proved result %d: key %q != original %q", i, back[i].Job().Key(), proved[i].Job().Key())
+		}
+		if back[i].Result.Summary != proved[i].Result.Summary {
+			t.Errorf("proved result %d: summary %+v != original %+v", i, back[i].Result.Summary, proved[i].Result.Summary)
+		}
+	}
+
+	if _, err := ReadProved(strings.NewReader("not json\n")); err == nil {
+		t.Error("corrupt seed files must be an error")
+	}
+}
+
+// TestParseResultLine checks stream-line classification: run lines parse with
+// ok=true, aggregate trailers and blanks are skipped, garbage is an error.
+func TestParseResultLine(t *testing.T) {
+	sr := runScenario7(t, scenarios.SummaryOnly)
+	runLine, _ := json.Marshal(NewRunReport(sr))
+	var acc scenarios.Accumulator
+	acc.Add(sr.Result)
+	trailer, _ := json.Marshal(NewAggregateReport(&acc))
+
+	rep, ok, err := ParseResultLine(runLine)
+	if err != nil || !ok {
+		t.Fatalf("run line: ok=%v err=%v", ok, err)
+	}
+	if rep.Name != sr.Job.Scenario.Name {
+		t.Errorf("run line parsed name %q, want %q", rep.Name, sr.Job.Scenario.Name)
+	}
+	if _, ok, err := ParseResultLine(trailer); err != nil || ok {
+		t.Errorf("trailer: ok=%v err=%v, want skipped", ok, err)
+	}
+	if _, ok, err := ParseResultLine([]byte("  \n")); err != nil || ok {
+		t.Errorf("blank line: ok=%v err=%v, want skipped", ok, err)
+	}
+	if _, _, err := ParseResultLine([]byte("not json at all")); err == nil {
+		t.Error("garbage must be an error")
+	}
+	if _, _, err := ParseResultLine([]byte(`{"neither":"run nor trailer"}`)); err == nil {
+		t.Error("unrecognized JSON must be an error")
+	}
+}
+
+// TestParseShard pins the -shard syntax validation.
+func TestParseShard(t *testing.T) {
+	i, n, err := ParseShard("2/5")
+	if err != nil || i != 2 || n != 5 {
+		t.Errorf("ParseShard(2/5) = %d,%d,%v", i, n, err)
+	}
+	for _, bad := range []string{"", "2", "a/b", "5/5", "-1/5", "0/0", "1/-3"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) should fail", bad)
+		}
+	}
+	if got := (ShardSpec{Index: 2, Total: 5}).String(); got != "2/5" {
+		t.Errorf("ShardSpec.String() = %q, want 2/5", got)
+	}
+}

@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ShardSpec addresses one unit of distributed work: the Index-th of Total
+// deterministic variant shards, plus the already-proved results the worker
+// should seed its result cache with (empty on a first attempt, the proved
+// prefix on a re-queue).
+type ShardSpec struct {
+	// Index is the 0-based shard index.
+	Index int
+	// Total is the shard count; every worker of one sweep shares it.
+	Total int
+	// Seed holds variants any worker already proved, so a replacement
+	// worker replays them from cache instead of re-simulating.
+	Seed []ProvedResult
+}
+
+// String renders the spec in the -shard flag syntax.
+func (s ShardSpec) String() string { return strconv.Itoa(s.Index) + "/" + strconv.Itoa(s.Total) }
+
+// ParseShard parses the -shard flag syntax "i/n" (0-based index, 1-based
+// total) into a validated index/total pair.
+func ParseShard(s string) (index, total int, err error) {
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard %q: want i/n (e.g. 0/3)", s)
+	}
+	index, err = strconv.Atoi(strings.TrimSpace(i))
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard %q: index: %w", s, err)
+	}
+	total, err = strconv.Atoi(strings.TrimSpace(n))
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard %q: total: %w", s, err)
+	}
+	if total < 1 {
+		return 0, 0, fmt.Errorf("shard %q: total must be at least 1", s)
+	}
+	if index < 0 || index >= total {
+		return 0, 0, fmt.Errorf("shard %q: index must be in [0,%d)", s, total)
+	}
+	return index, total, nil
+}
+
+// Worker is one running constituent of a distributed sweep, however the
+// Transport realizes it (child process, goroutine, remote host).
+type Worker interface {
+	// Output is the worker's NDJSON result stream.  It yields EOF when the
+	// worker finishes or dies; the reader must drain it before Wait.
+	Output() io.Reader
+	// Wait blocks until the worker has terminated and returns its terminal
+	// error, if any.  A non-nil error with the shard complete is ignorable;
+	// the coordinator decides from its own bookkeeping, not the exit code.
+	Wait() error
+	// Kill forcibly terminates the worker (SIGKILL for process workers).
+	// The coordinator uses it for stalled workers and for cancellation;
+	// killing an already-dead worker is harmless.
+	Kill() error
+}
+
+// Transport spawns workers.  It is deliberately small — spawn and stream —
+// so that process-local execution (ExecTransport), in-process execution
+// (LocalTransport) and a future HTTP/socket transport are interchangeable
+// under the same Coordinator.  Start must not block on the worker finishing;
+// the context cancels the worker's whole lifetime.
+type Transport interface {
+	Start(ctx context.Context, spec ShardSpec) (Worker, error)
+}

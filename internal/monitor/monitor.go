@@ -392,9 +392,9 @@ func (h *Hierarchy) Classify() []Detection {
 // Summary aggregates a classified detection list.
 type Summary struct {
 	// Hits, FalseNegatives and FalsePositives are the counts by kind.
-	Hits           int
-	FalseNegatives int
-	FalsePositives int
+	Hits           int `json:"hits"`
+	FalseNegatives int `json:"false_negatives"`
+	FalsePositives int `json:"false_positives"`
 }
 
 // Summarize counts detections by kind.

@@ -92,7 +92,7 @@ func (a *runArena) run(sc Scenario, opts Options) Result {
 	// Result, so Result.TerminatedEarly compares the executed steps against
 	// the duration that was actually scheduled.
 	if sc.Duration <= 0 {
-		sc.Duration = defaultScenarioDuration
+		sc.Duration = DefaultDuration
 	}
 	steps, last := a.sim.RunDiscard(sc.Duration)
 	a.suite.Finish()

@@ -3,7 +3,6 @@ package scenarios
 import (
 	"context"
 	"runtime"
-	"strconv"
 	"sync"
 
 	"repro/internal/monitor"
@@ -409,12 +408,12 @@ type variantCache struct {
 
 func newVariantCache() *variantCache { return &variantCache{m: make(map[string]cachedSummary)} }
 
-// key identifies a variant: the scenario name (which every sweep generator
-// derives from the full parameter assignment), the scheduled duration and
-// the options label.
-func (c *variantCache) key(job Job) string {
-	return job.Scenario.Name + "|" + strconv.FormatInt(int64(job.Scenario.Duration), 10) + "|" + job.Options.Label()
-}
+// key identifies a variant.  It is the job's canonical variant key — the
+// scenario name (which every sweep generator derives from the full parameter
+// assignment), the effective duration and the options label — shared with
+// distributed sharding and sink deduplication so "already proved" means the
+// same thing everywhere.
+func (c *variantCache) key(job Job) string { return job.Key() }
 
 // lookup returns the memoized Result for the job's variant label.  A nil
 // cache (the default Engine) never hits.
@@ -436,7 +435,7 @@ func (c *variantCache) lookup(job Job) (Result, bool) {
 	}
 	sc := job.Scenario
 	if sc.Duration <= 0 {
-		sc.Duration = defaultScenarioDuration
+		sc.Duration = DefaultDuration
 	}
 	return Result{Scenario: sc, Steps: cs.steps, Summary: cs.summary, Collision: cs.collision}, true
 }
@@ -453,6 +452,16 @@ func (c *variantCache) store(job Job, res Result) {
 	}
 	c.mu.Unlock()
 }
+
+// SeedResult memoizes an already-proved summary-only result under the job's
+// variant key, exactly as if this Engine had computed it: a later stream that
+// reaches the same key replays the seeded summary instead of simulating.  It
+// is the re-queue fast path of distributed execution — a replacement worker
+// is seeded with every variant any worker already proved, so it only pays
+// for the dead shard's genuinely unfinished work.  Seeding an Engine built
+// without WithResultCache is a no-op, as is re-seeding a key that is already
+// cached.
+func (e *Engine) SeedResult(job Job, res Result) { e.cache.store(job, res) }
 
 // CacheStats returns the result cache's hit and miss counts (zero when the
 // Engine was built without WithResultCache).
@@ -509,6 +518,30 @@ func (a *Accumulator) Add(r Result) {
 func (a *Accumulator) Consume(sr StreamResult) error {
 	a.Add(sr.Result)
 	return nil
+}
+
+// Merge folds another accumulator's aggregate into this one, as if every
+// result the other accumulated had been added here instead.  Addition over
+// run, collision and early-termination counts and the classification summary
+// is commutative and associative, so merging per-shard accumulators in any
+// order yields exactly the aggregate a single accumulator over the union of
+// their results would hold — the invariant distributed merging depends on
+// (TestAccumulatorMergeEquivalence).  The other accumulator is read under
+// its own lock and left unchanged; merging an accumulator into itself is a
+// no-op rather than a double-count.
+func (a *Accumulator) Merge(o *Accumulator) {
+	if o == nil || o == a {
+		return
+	}
+	o.mu.Lock()
+	runs, collisions, early, sum := o.runs, o.collisions, o.early, o.sum
+	o.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs += runs
+	a.collisions += collisions
+	a.early += early
+	a.sum = a.sum.Add(sum)
 }
 
 // Runs returns the number of results folded so far.

@@ -15,63 +15,77 @@ import (
 // the thesis).
 const Period = time.Millisecond
 
-// defaultScenarioDuration is the scheduled simulation time a zero-valued
-// Scenario.Duration resolves to (20 s, as in the thesis).
-const defaultScenarioDuration = 20 * time.Second
+// DefaultDuration is the scheduled simulation time a zero-valued
+// Scenario.Duration resolves to (20 s, as in the thesis).  It is exported so
+// out-of-process consumers of results (internal/dist) can normalize a job's
+// duration exactly the way the run itself does.
+const DefaultDuration = 20 * time.Second
 
 // Scenario is one of the ten evaluation scenarios of thesis Section 5.4.
+//
+// The JSON shape is part of the distributed wire contract (internal/dist):
+// field order is declaration order and every value round-trips
+// byte-identically through encoding/json, so a coordinator can re-emit a
+// scenario it parsed without disturbing a byte-for-byte diff.
 type Scenario struct {
 	// Number is the thesis scenario number (1–10).
-	Number int
+	Number int `json:"number"`
 	// Name is a short identifier.
-	Name string
+	Name string `json:"name"`
 	// Description is the thesis' scenario description.
-	Description string
+	Description string `json:"description,omitempty"`
 	// Duration is the scheduled simulation time (20 s in the thesis); runs
 	// terminate early on a collision, as the thesis' runs terminated early
 	// on vehicle-model faults.
-	Duration time.Duration
+	Duration time.Duration `json:"duration"`
 
 	// InitialSpeed is the host vehicle's speed at the start, in m/s
 	// (negative for reverse motion).
-	InitialSpeed float64
+	InitialSpeed float64 `json:"initial_speed"`
 	// Gear is the transmission gear at the start ("D" or "R").
-	Gear string
+	Gear string `json:"gear"`
 	// ObjectDistance and ObjectSpeed place a target vehicle relative to
 	// the host (positive distance ahead, negative behind).
-	ObjectDistance float64
-	ObjectSpeed    float64
+	ObjectDistance float64 `json:"object_distance"`
+	ObjectSpeed    float64 `json:"object_speed"`
 
 	// Driver is the driver/HMI input schedule.
-	Driver []vehicle.DriverAction
+	Driver []vehicle.DriverAction `json:"driver,omitempty"`
 
 	// ACCDirectionCheck restores the gear check in ACC engagement (the
 	// thesis implementation accepted engagement in reverse, so the check
 	// is off by default).
-	ACCDirectionCheck bool
+	ACCDirectionCheck bool `json:"acc_direction_check,omitempty"`
 }
 
 // Result is the outcome of one monitored scenario run.
+//
+// A marshalled Result is the summary projection: the trace, suite and
+// detections are excluded ("-") whatever the retention policy, so the JSON
+// form is exactly the state a SummaryOnly run retains, and it survives
+// marshal → unmarshal → marshal byte-identically — the diff-stability the
+// distributed coordinator's re-emission and seed files depend on
+// (TestResultJSONRoundTrip).
 type Result struct {
 	// Scenario is the configuration that was run.
-	Scenario Scenario
+	Scenario Scenario `json:"scenario"`
 	// Steps is the number of simulation steps executed.  Unlike Trace, it
 	// survives every retention policy.
-	Steps int
+	Steps int `json:"steps"`
 	// Trace is the recorded state trace (nil under SummaryOnly retention).
-	Trace *temporal.Trace
+	Trace *temporal.Trace `json:"-"`
 	// Suite holds the goal and subgoal monitors after the run (nil under
 	// SummaryOnly retention).  Its monitors are program-fed interval
 	// recorders: classification and reporting work as always, but they
 	// cannot Observe further states themselves.
-	Suite *monitor.Suite
+	Suite *monitor.Suite `json:"-"`
 	// Detections are the classified correspondences per system goal (nil
 	// under SummaryOnly retention).
-	Detections map[string][]monitor.Detection
+	Detections map[string][]monitor.Detection `json:"-"`
 	// Summary aggregates the detections.
-	Summary monitor.Summary
+	Summary monitor.Summary `json:"summary"`
 	// Collision reports whether the run terminated early on a collision.
-	Collision bool
+	Collision bool `json:"collision"`
 }
 
 // TerminatedEarly reports whether the run stopped before its scheduled
@@ -214,17 +228,17 @@ func ScenarioByNumber(n int) (Scenario, bool) {
 // subsystems instead of the all-or-nothing CorrectDefects ablation.
 type DefectSet struct {
 	// CorrectCA makes CA brake continuously instead of intermittently.
-	CorrectCA bool
+	CorrectCA bool `json:"correct_ca,omitempty"`
 	// CorrectRCA lets RCA engage in reverse.
-	CorrectRCA bool
+	CorrectRCA bool `json:"correct_rca,omitempty"`
 	// CorrectACC restricts ACC to controlling only while engaged, only in
 	// forward gear, and without the LCA-interaction deceleration defect.
-	CorrectACC bool
+	CorrectACC bool `json:"correct_acc,omitempty"`
 	// CorrectPA silences Park Assist while it is disabled.
-	CorrectPA bool
+	CorrectPA bool `json:"correct_pa,omitempty"`
 	// CorrectArbiter gives the Arbiter a single consistent priority order
 	// with an immediate driver-override check and a faithful PA command.
-	CorrectArbiter bool
+	CorrectArbiter bool `json:"correct_arbiter,omitempty"`
 }
 
 // AllDefectsCorrected is the DefectSet equivalent of CorrectDefects.
@@ -262,13 +276,13 @@ type Options struct {
 	// scenarios in this configuration is the ablation that shows how much
 	// of the observed goal-violation structure comes from the thesis'
 	// documented defects rather than from the monitoring approach.
-	CorrectDefects bool
+	CorrectDefects bool `json:"correct_defects,omitempty"`
 
 	// Defects corrects individual subsystems' seeded defects (the zero
 	// value corrects none).  CorrectDefects takes precedence: when it is
 	// set, every subsystem is corrected regardless of this field.  Sweeps
 	// vary it through Family.DefectSets.
-	Defects DefectSet
+	Defects DefectSet `json:"defects,omitempty"`
 
 	// MatchTolerance overrides the hit-matching window, in states, used
 	// when deciding whether a subgoal violation corresponds to a system
@@ -276,7 +290,7 @@ type Options struct {
 	// sensitive the hit / false-negative / false-positive classification is
 	// to the assumed observation and actuation delays between hierarchy
 	// levels.
-	MatchTolerance int
+	MatchTolerance int `json:"match_tolerance,omitempty"`
 }
 
 // defects resolves the effective per-subsystem correction set.
@@ -497,7 +511,7 @@ func runJobCached(sc Scenario, opts Options, retention Retention, cache suiteCac
 	// Result, so Result.TerminatedEarly compares the executed steps against
 	// the duration that was actually scheduled.
 	if sc.Duration <= 0 {
-		sc.Duration = defaultScenarioDuration
+		sc.Duration = DefaultDuration
 	}
 
 	var (

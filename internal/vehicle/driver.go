@@ -7,33 +7,36 @@ import (
 )
 
 // DriverAction is one scheduled driver or HMI input change.  Fields are
-// pointers so that an action only touches the inputs it names.
+// pointers so that an action only touches the inputs it names; in JSON the
+// untouched inputs are omitted, so a marshalled schedule carries exactly the
+// inputs each action names and round-trips byte-identically (part of the
+// distributed wire contract, see internal/dist).
 type DriverAction struct {
 	// At is the simulation time of the action.
-	At time.Duration
+	At time.Duration `json:"at"`
 	// Throttle sets the throttle pedal level (0 releases the pedal).
-	Throttle *float64
+	Throttle *float64 `json:"throttle,omitempty"`
 	// Brake sets the brake pedal level (0 releases the pedal).
-	Brake *float64
+	Brake *float64 `json:"brake,omitempty"`
 	// Steering sets the driver steering-wheel input (0 releases it).
-	Steering *float64
+	Steering *float64 `json:"steering,omitempty"`
 	// EnableCA, EnableRCA, EnableACC, EnableLCA, EnablePA switch features
 	// on or off at the HMI.
-	EnableCA  *bool
-	EnableRCA *bool
-	EnableACC *bool
-	EnableLCA *bool
-	EnablePA  *bool
+	EnableCA  *bool `json:"enable_ca,omitempty"`
+	EnableRCA *bool `json:"enable_rca,omitempty"`
+	EnableACC *bool `json:"enable_acc,omitempty"`
+	EnableLCA *bool `json:"enable_lca,omitempty"`
+	EnablePA  *bool `json:"enable_pa,omitempty"`
 	// EngageACC, EngageLCA, EngagePA request feature engagement.
-	EngageACC *bool
-	EngageLCA *bool
-	EngagePA  *bool
+	EngageACC *bool `json:"engage_acc,omitempty"`
+	EngageLCA *bool `json:"engage_lca,omitempty"`
+	EngagePA  *bool `json:"engage_pa,omitempty"`
 	// SetSpeed sets the ACC set speed in m/s.
-	SetSpeed *float64
+	SetSpeed *float64 `json:"set_speed,omitempty"`
 	// Go sends the HMI "go" confirmation used to resume from a stop.
-	Go *bool
+	Go *bool `json:"go,omitempty"`
 	// Gear selects the transmission gear ("D" or "R").
-	Gear *string
+	Gear *string `json:"gear,omitempty"`
 }
 
 // Level returns a pointer to a pedal or steering level, for building
