@@ -348,6 +348,53 @@ func BenchmarkRunSweepSummaryOnly(b *testing.B) {
 	}
 }
 
+// toleranceSweepK is the 60-variant grouped-execution benchmark sweep: the
+// ten thesis scenarios at 2 s durations, each evaluated at six hit-matching
+// tolerances.  The tolerance axis is innermost, so every family is one
+// width-6 dynamics group.
+func toleranceSweepK() scenarios.Sweep {
+	var families []scenarios.Family
+	for _, base := range scenarios.Scenarios() {
+		base.Duration = 2 * time.Second
+		families = append(families, scenarios.Family{
+			Base:       base,
+			Tolerances: []int{25, 50, 100, 150, 300, 450},
+		})
+	}
+	return scenarios.Sweep{Families: families}
+}
+
+// BenchmarkToleranceSweepGrouped measures what the dynamics/monitor identity
+// split buys on a K-tolerance sweep: Grouped simulates each trajectory once
+// and classifies its recorded violation intervals at all six tolerances
+// (FastSummaryAt); Ungrouped simulates every variant separately, the
+// pre-split behaviour.  Identical results either way — the differential
+// tests prove byte equality — so the ratio is pure saved simulation.
+func BenchmarkToleranceSweepGrouped(b *testing.B) {
+	sweep := toleranceSweepK()
+	for _, mode := range []struct {
+		name    string
+		grouped bool
+	}{{"Grouped", true}, {"Ungrouped", false}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine := scenarios.NewEngine(
+					scenarios.WithRetention(scenarios.SummaryOnly),
+					scenarios.WithGrouping(mode.grouped))
+				acc, err := engine.Accumulate(context.Background(), sweep.Source())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if acc.Runs() != sweep.Size() {
+					b.Fatalf("ran %d of %d variants", acc.Runs(), sweep.Size())
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_CorrectedScenario2 is the corrected-defects ablation: the
 // same scenario run with every seeded defect removed, showing how much of
 // the violation structure is attributable to the thesis' documented defects.

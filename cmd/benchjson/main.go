@@ -1,12 +1,14 @@
 // Command benchjson runs the repository's headline benchmarks with -benchmem
-// and writes a machine-readable JSON document (BENCH_7.json by default) with
+// and writes a machine-readable JSON document (BENCH_8.json by default) with
 // ns/op, B/op and allocs/op per benchmark, so the performance trajectory of
 // the evaluation hot path is recorded as data rather than prose: CI uploads
 // the file as a build artifact and future PRs diff their numbers against it.
 //
 // The default benchmark set is the perf contract of the sweep hot path:
 // BenchmarkRunSweepSummaryOnly (the end-to-end 40-variant summary-only
-// sweep), BenchmarkBusCommit (the per-step plane-memmove commit),
+// sweep), BenchmarkToleranceSweepGrouped (the 60-variant K-tolerance sweep
+// with dynamics-grouped execution versus per-variant simulation),
+// BenchmarkBusCommit (the per-step plane-memmove commit),
 // BenchmarkSuiteObserve (the compiled monitoring plan against one state) and
 // BenchmarkDistSweep (the 1296-variant huge sweep single-process versus
 // through the distributed coordinator, recording the protocol-and-merge
@@ -14,7 +16,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_7.json] [-bench regex]
+//	go run ./cmd/benchjson [-out BENCH_8.json] [-bench regex]
 //	                       [-benchtime 3x] [-count 1] [-pkg .]
 package main
 
@@ -31,7 +33,7 @@ import (
 )
 
 // defaultBenchRegex selects the headline benchmarks of the perf contract.
-const defaultBenchRegex = "BenchmarkRunSweepSummaryOnly$|BenchmarkBusCommit$|BenchmarkSuiteObserve$|BenchmarkDistSweep$"
+const defaultBenchRegex = "BenchmarkRunSweepSummaryOnly$|BenchmarkToleranceSweepGrouped$|BenchmarkBusCommit$|BenchmarkSuiteObserve$|BenchmarkDistSweep$"
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
@@ -60,7 +62,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output file")
+	out := flag.String("out", "BENCH_8.json", "output file")
 	bench := flag.String("bench", defaultBenchRegex, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")

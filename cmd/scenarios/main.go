@@ -79,7 +79,7 @@ func run(args []string, w io.Writer) error {
 	sweepSize := fs.String("sweep-size", "default", "sweep grid preset: default (120 variants), wide (360, adds object speeds), huge (1296, adds speeds, distances and gears where meaningful), tolerance (30, varies the hit-matching window) or defects (120, per-feature defect subsets under perturbed driver schedules)")
 	shard := fs.String("shard", "", "evaluate only shard i/n of the job stream (e.g. 0/3): the deterministic variant-key partition used by distributed sweeps (empty = everything)")
 	seedResults := fs.String("seed-results", "", "load a ProvedResult NDJSON file into the result cache so already-proved variants replay without simulation (requires -sweep, -json or -stream)")
-	cacheStats := fs.Bool("cache-stats", false, "memoize summary-only results by variant label (Engine result cache) and report the hit/miss counters on stderr after the run")
+	cacheStats := fs.Bool("cache-stats", false, "memoize summary-only results by variant label (Engine result cache) and report the hit/miss and dynamics-grouping counters on stderr after the run")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary instead of the rendered tables")
 	stream := fs.Bool("stream", false, "emit NDJSON: one line per completed run, then a final aggregate line")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the evaluation to this file (inspect with go tool pprof)")
@@ -239,10 +239,7 @@ func run(args []string, w io.Writer) error {
 	if *cacheStats {
 		// The counters are reported however the evaluation path returns, on
 		// stderr so they never corrupt -json/-stream output.
-		defer func() {
-			hits, misses := engine.CacheStats()
-			fmt.Fprintf(os.Stderr, "result cache: %d hits, %d misses\n", hits, misses)
-		}()
+		defer func() { fmt.Fprint(os.Stderr, engineStats(engine)) }()
 	}
 
 	var acc scenarios.Accumulator
@@ -307,4 +304,15 @@ func run(args []string, w io.Writer) error {
 		}
 		return err
 	}
+}
+
+// engineStats renders the -cache-stats report: the result-cache hit/miss
+// counters and what dynamics-grouped execution did (groups formed, variants
+// carried, simulation passes actually run and thereby saved).
+func engineStats(engine *scenarios.Engine) string {
+	hits, misses := engine.CacheStats()
+	gs := engine.GroupStats()
+	return fmt.Sprintf("result cache: %d hits, %d misses\n", hits, misses) +
+		fmt.Sprintf("dynamics groups: %d groups over %d jobs, %d sims run, %d saved (mean width %.2f)\n",
+			gs.Groups, gs.Jobs, gs.Sims, gs.SimsSaved(), gs.MeanWidth())
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/scenarios"
@@ -423,5 +425,41 @@ func TestRunSeedResults(t *testing.T) {
 	}
 	if !bytes.Equal(first.Bytes(), second.Bytes()) {
 		t.Errorf("seeded replay differs from baseline:\n--- baseline ---\n%s\n--- seeded ---\n%s", first.String(), second.String())
+	}
+}
+
+// TestEngineStatsReport pins the -cache-stats stderr report: after streaming
+// the 30-variant tolerance sweep (10 families x 3 tolerances, the
+// tolerance axis innermost), the dynamics-grouping line must show 10 groups
+// over 30 jobs with exactly ceil(30/3) = 10 simulation passes run.
+func TestEngineStatsReport(t *testing.T) {
+	sw, err := scenarios.SweepBySize("tolerance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sw.Families {
+		sw.Families[i].Base.Duration = 200 * time.Millisecond
+	}
+	engine := scenarios.NewEngine(
+		scenarios.WithRetention(scenarios.SummaryOnly),
+		scenarios.WithResultCache(),
+	)
+	if _, err := engine.Accumulate(context.Background(), sw.Source()); err != nil {
+		t.Fatal(err)
+	}
+	got := engineStats(engine)
+	want := "result cache: 0 hits, 30 misses\n" +
+		"dynamics groups: 10 groups over 30 jobs, 10 sims run, 20 saved (mean width 3.00)\n"
+	if got != want {
+		t.Errorf("engineStats =\n%q\nwant\n%q", got, want)
+	}
+
+	// An engine that never grouped (and has no cache) reports zeros rather
+	// than omitting the lines, so the format is stable for log scrapers.
+	empty := engineStats(scenarios.NewEngine(scenarios.WithGrouping(false)))
+	want = "result cache: 0 hits, 0 misses\n" +
+		"dynamics groups: 0 groups over 0 jobs, 0 sims run, 0 saved (mean width 0.00)\n"
+	if empty != want {
+		t.Errorf("zero-state engineStats =\n%q\nwant\n%q", empty, want)
 	}
 }

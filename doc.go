@@ -36,6 +36,24 @@
 // testing.AllocsPerRun regression tests, with before/after numbers recorded
 // in README.md and the committed benchmark baseline).
 //
+// Job identity is split into what is simulated and how it is observed:
+// scenarios.Job.DynamicsKey canonicalizes everything that determines the
+// simulated trajectory (physical parameters, duration, driver schedule,
+// resolved defect corrections) and MonitorKey everything that only affects
+// observation (the hit-matching tolerance), with reflection guard tests
+// forcing every Scenario and Options field to be classified into exactly one
+// side.  The Engine batches consecutive jobs with equal DynamicsKeys into
+// one group per worker and simulates the trajectory once: the compiled
+// suite observes the single pass and each job's summary is classified from
+// the recorded violation intervals at that job's own tolerance
+// (monitor.Suite.FastSummaryAt — sound because the tolerance parameterizes
+// only interval matching, never which intervals a run records), so a
+// K-tolerance sweep does ceil(variants/K) simulation passes instead of
+// one per variant.  Every result still streams under its own Job.Key in
+// source order — sharding, caching, dedup and the distributed merge are
+// byte-identical with grouping on or off — and Engine.GroupStats reports
+// groups formed, variants carried and simulation passes saved.
+//
 // Monitoring is evaluated as one composed artifact: temporal.Program
 // compiles every goal and subgoal formula of a monitor suite into a single
 // flat, topologically ordered node array with common subexpressions

@@ -1,0 +1,45 @@
+package dist
+
+// Distributed differential for dynamics-grouped execution: LocalTransport
+// workers build their engines with the default configuration, so grouping is
+// active inside every shard.  Sharding assigns the tolerance variants of one
+// family to different shards (Job.Key covers the options label), which
+// splits many dynamics groups across workers — exactly the partial-group
+// shapes a single process never produces — and the merged output must still
+// be byte-identical to the single-process reference.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scenarios"
+)
+
+// groupSweep is the tolerance sweep with trimmed durations: the preset whose
+// consecutive variants actually share a DynamicsKey, so both the
+// single-process reference and the per-shard engines exercise grouped
+// execution for real.
+func groupSweep(t *testing.T) scenarios.Sweep {
+	t.Helper()
+	sw, err := scenarios.SweepBySize("tolerance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sw.Families {
+		sw.Families[i].Base.Duration = 1 * time.Second
+	}
+	return sw
+}
+
+func TestCoordinatorGroupedToleranceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 30-variant tolerance sweep twice")
+	}
+	sw := groupSweep(t)
+	wantStream, wantAgg := singleProcess(t, sw.Source())
+	gotStream, gotAgg := distributed(t, Options{
+		Workers:   3,
+		Transport: &LocalTransport{Source: sw.Source},
+	}, sw.Source())
+	requireIdentical(t, wantStream, wantAgg, gotStream, gotAgg)
+}

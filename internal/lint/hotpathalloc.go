@@ -10,8 +10,10 @@ import (
 // analyzerHotPathAlloc checks the zero-allocation invariant of the per-step
 // hot path: every function statically reachable from the hot roots — the
 // register-plane commit (Registers.CopyFrom, Bus.Commit), the shared
-// evaluation program (Program.Step, CompiledSuite.Observe) and the
-// summary-only classification (Suite.FastSummary) — must not contain
+// evaluation program (Program.Step, CompiledSuite.Observe), the engine
+// arena's observer fan-out (runArena.Observe, the per-step seam of grouped
+// execution) and the summary-only classification (Suite.FastSummary and the
+// tolerance-overriding Suite.FastSummaryAt) — must not contain
 // allocating constructs.  The runtime AllocsPerRun gates prove particular
 // benchmarks allocation-free; this analyzer proves the property for every
 // path through the source, including ones no benchmark exercises.
@@ -40,6 +42,7 @@ func hotRootKeys(modPath string) [][3]string {
 	sim := modPath + "/internal/sim"
 	temporal := modPath + "/internal/temporal"
 	monitor := modPath + "/internal/monitor"
+	scenarios := modPath + "/internal/scenarios"
 	return [][3]string{
 		{temporal, "Registers", "CopyFrom"},
 		{sim, "Bus", "Commit"},
@@ -47,6 +50,9 @@ func hotRootKeys(modPath string) [][3]string {
 		{monitor, "CompiledSuite", "Observe"},
 		{monitor, "Suite", "FastSummary"},
 		{monitor, "CompiledSuite", "FastSummary"},
+		{monitor, "Suite", "FastSummaryAt"},
+		{monitor, "CompiledSuite", "FastSummaryAt"},
+		{scenarios, "runArena", "Observe"},
 	}
 }
 

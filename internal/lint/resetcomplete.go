@@ -7,12 +7,15 @@ import (
 	"go/types"
 )
 
-// analyzerResetComplete checks the pooled-arena invariant: a component that
-// is reset and reused between runs (its pointer type implements both
-// sim.Component and sim.Resetter) must restore, in Reset, every field its
-// other methods write.  A field Reset misses keeps the previous run's value
-// and corrupts every later run of the arena — the exact cross-run state leak
-// the reuse tests probe dynamically, proven here for all fields at once.
+// analyzerResetComplete checks the pooled-arena invariant: a type that is
+// reset and reused between runs — its pointer type implements sim.Resetter
+// together with either sim.Component (a stepped component) or
+// sim.StateObserver (an observer fed each committed state, e.g. a compiled
+// monitor suite in the engine's observe fan-out) — must restore, in Reset,
+// every field its other methods write.  A field Reset misses keeps the
+// previous run's value and corrupts every later run of the arena — the exact
+// cross-run state leak the reuse tests probe dynamically, proven here for
+// all fields at once.
 //
 // Fields are classified from the source: a field is mutable when any method
 // other than Reset assigns it, takes its address, or calls a pointer-receiver
@@ -37,13 +40,14 @@ func runResetComplete(prog *Program) []Diagnostic {
 		return nil
 	}
 	component := namedInterface(simPkg, "Component")
+	observer := namedInterface(simPkg, "StateObserver")
 	resetter := namedInterface(simPkg, "Resetter")
-	if component == nil || resetter == nil {
+	if component == nil || observer == nil || resetter == nil {
 		return nil
 	}
 	var diags []Diagnostic
 	for _, pkg := range prog.Packages {
-		diags = append(diags, resetCompletePackage(prog, pkg, component, resetter)...)
+		diags = append(diags, resetCompletePackage(prog, pkg, component, observer, resetter)...)
 	}
 	return diags
 }
@@ -58,7 +62,7 @@ func namedInterface(pkg *Package, name string) *types.Interface {
 	return iface
 }
 
-func resetCompletePackage(prog *Program, pkg *Package, component, resetter *types.Interface) []Diagnostic {
+func resetCompletePackage(prog *Program, pkg *Package, component, observer, resetter *types.Interface) []Diagnostic {
 	methods := methodDeclsByType(pkg)
 	structs := structSpecsByType(pkg)
 
@@ -74,7 +78,8 @@ func resetCompletePackage(prog *Program, pkg *Package, component, resetter *type
 			continue
 		}
 		ptr := types.NewPointer(tn.Type())
-		if !types.Implements(ptr, component) || !types.Implements(ptr, resetter) {
+		pooled := types.Implements(ptr, component) || types.Implements(ptr, observer)
+		if !pooled || !types.Implements(ptr, resetter) {
 			continue
 		}
 		decls := methods[tn]

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/temporal"
 )
 
 // Counter is pooled between runs; Reset restores count but forgets peak and
@@ -41,3 +42,20 @@ func (u *Undocumented) Name() string { return "undocumented" }
 func (u *Undocumented) Step(now time.Duration, bus *sim.Bus) { u.ticks++ }
 
 func (u *Undocumented) Reset() {}
+
+// Watcher is a pooled state observer (the engine's observe fan-out feeds it
+// each committed state), not a stepped component; Reset restores seen but
+// forgets worst, so a reused observer would carry the previous run's extreme.
+type Watcher struct {
+	seen  int
+	worst float64 // want "field worst of resetbad.Watcher is written by its methods but not restored in Reset"
+}
+
+func (w *Watcher) Observe(st temporal.State) {
+	w.seen++
+	if v := st.Number("accel"); v > w.worst {
+		w.worst = v
+	}
+}
+
+func (w *Watcher) Reset() { w.seen = 0 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/temporal"
 )
 
 // Gauge restores both of its mutable fields directly in Reset.  The name
@@ -64,3 +65,30 @@ func (c *Cached) Step(now time.Duration, bus *sim.Bus) {
 }
 
 func (c *Cached) Reset() { c.n = 0 }
+
+// Probe is a pooled state observer: not a stepped component, but reused
+// between runs through the engine's observe fan-out all the same.  Reset
+// restores every mutable field, and the compiled-slot field is a documented
+// exception — it survives Reset exactly like the real compiled suites' plan
+// state does.
+type Probe struct {
+	//lint:resetok the resolved slot is compile-time plan state; every run reads the same register
+	slot  int
+	peak  float64
+	count int
+}
+
+func (p *Probe) Observe(st temporal.State) {
+	if p.slot == 0 {
+		p.slot = 1
+	}
+	if v := st.SlotNumber(p.slot); v > p.peak {
+		p.peak = v
+	}
+	p.count++
+}
+
+func (p *Probe) Reset() {
+	p.peak = 0
+	p.count = 0
+}

@@ -31,11 +31,13 @@ type GoalAt struct {
 // after run with it instead of rebuilding 30+ steppers per variant.  Like the
 // monitors it replaces, it is not safe for concurrent use.
 type CompiledSuite struct {
-	period   time.Duration
-	program  *temporal.Program
+	period  time.Duration
+	program *temporal.Program
+	//lint:resetok the hierarchy registry is construction state written only by AddHierarchy; Reset rewinds its monitors' recorders through the monitors slice
 	suite    *Suite
 	monitors []*Monitor
-	taps     []temporal.Tap
+	//lint:resetok program output taps are assigned at compile time and never move; each run writes fresh verdicts through them
+	taps []temporal.Tap
 }
 
 // NewCompiledSuite returns an empty compiled suite.  The period converts
@@ -139,6 +141,14 @@ func (cs *CompiledSuite) Summary() Summary { return cs.suite.Summary() }
 // FastSummary computes the classification summary without materializing
 // detections; see Suite.FastSummary.
 func (cs *CompiledSuite) FastSummary() Summary { return cs.suite.FastSummary() }
+
+// FastSummaryAt computes the classification summary with the hit-matching
+// tolerance overridden per call; see Suite.FastSummaryAt.  The recorded
+// violation intervals are read, never modified, so one observed run can be
+// classified at any number of tolerances in sequence.
+func (cs *CompiledSuite) FastSummaryAt(tolerance int) Summary {
+	return cs.suite.FastSummaryAt(tolerance)
+}
 
 // Report collects the violation-report rows of every monitor that recorded a
 // violation, sorted by goal name then location.

@@ -601,7 +601,24 @@ func (s *Suite) Summary() Summary {
 func (s *Suite) FastSummary() Summary {
 	var sum Summary
 	for _, h := range s.hierarchies {
-		sum = sum.Add(h.countSummary(&s.pmScratch, &s.cmScratch))
+		sum = sum.Add(h.countSummaryAt(h.Tolerance, &s.pmScratch, &s.cmScratch))
+	}
+	return sum
+}
+
+// FastSummaryAt is FastSummary with the hit-matching tolerance overridden:
+// every hierarchy is classified as if it had been built with the given
+// window instead of its own.  The tolerance only parameterizes the
+// final interval matching — it never influences which violations a run
+// records — so one suite's recorded intervals can be classified at K
+// different tolerances after a single observation pass, which is what turns
+// a grouped K-tolerance sweep into one simulation instead of K.  Like
+// FastSummary it reuses the suite's scratch buffers and allocates nothing
+// at steady state.
+func (s *Suite) FastSummaryAt(tolerance int) Summary {
+	var sum Summary
+	for _, h := range s.hierarchies {
+		sum = sum.Add(h.countSummaryAt(tolerance, &s.pmScratch, &s.cmScratch))
 	}
 	return sum
 }
@@ -622,12 +639,14 @@ func resizeCleared(buf *[]bool, n int) []bool {
 	return b
 }
 
-// countSummary is the counting form of Classify: each parent violation is one
-// hit (some child violation corresponds) or one false negative, and each
-// unmatched child violation is one false positive.  The interval matching is
-// the same monotone sort-merge per child; only the detections themselves are
-// never built.
-func (h *Hierarchy) countSummary(pmBuf, cmBuf *[]bool) Summary {
+// countSummaryAt is the counting form of Classify at an explicit matching
+// tolerance: each parent violation is one hit (some child violation
+// corresponds) or one false negative, and each unmatched child violation is
+// one false positive.  The interval matching is the same monotone sort-merge
+// per child; only the detections themselves are never built.  Classify reads
+// h.Tolerance; callers wanting its behaviour pass it explicitly (FastSummary)
+// or override it per call (FastSummaryAt).
+func (h *Hierarchy) countSummaryAt(tolerance int, pmBuf, cmBuf *[]bool) Summary {
 	pvs := h.Parent.violations
 	pm := resizeCleared(pmBuf, len(pvs))
 	var sum Summary
@@ -639,11 +658,11 @@ func (h *Hierarchy) countSummary(pmBuf, cmBuf *[]bool) Summary {
 		cm := resizeCleared(cmBuf, len(cvs))
 		lo := 0
 		for i, pv := range pvs {
-			pStart, pEnd := pv.Start-h.Tolerance, pv.End+h.Tolerance
-			for lo < len(cvs) && cvs[lo].End+h.Tolerance <= pStart {
+			pStart, pEnd := pv.Start-tolerance, pv.End+tolerance
+			for lo < len(cvs) && cvs[lo].End+tolerance <= pStart {
 				lo++
 			}
-			for j := lo; j < len(cvs) && cvs[j].Start-h.Tolerance < pEnd; j++ {
+			for j := lo; j < len(cvs) && cvs[j].Start-tolerance < pEnd; j++ {
 				pm[i] = true
 				cm[j] = true
 			}

@@ -18,21 +18,32 @@ import (
 // summary-only sweep allocates nothing per step and only O(1) bookkeeping per
 // variant (the final bus snapshot and the Result itself).
 //
+// Beyond single variants, the arena executes dynamics groups (runGroup):
+// jobs that share a DynamicsKey are run as ONE simulation pass, observed
+// once, and classified once per job at that job's own tolerance — the
+// "simulate once, observe many" path.  The registered observer fans each
+// committed state out to every active suite, so the arena can also drive K
+// independent compiled programs over one pass (runGroupIsolated, the
+// reference the fast path is proven against).
+//
 // The arena exists for SummaryOnly retention: a KeepTrace result hands its
 // trace and suite to the caller, so those runs build fresh state per job
 // (runJobCached).  An arena is not safe for concurrent use; workers own one
 // each.
 type runArena struct {
 	sim *sim.Simulation
+	//lint:resetok configure reassigns every scenario parameter and defect flag absolutely before each run; the components themselves are reset through sim.Reset
 	set *vehicleSet
 
 	// suites caches one compiled suite per hit-matching tolerance — the only
 	// option that changes the monitoring plan's structure — compiled against
 	// the arena's schema, so its atoms stay slot-resolved across variants.
+	//lint:resetok the compiled-suite pool deliberately survives Reset (compiling the ~50-formula plan is the cost the arena exists to amortize); each suite is rewound by activate before it observes a run
 	suites map[int]*monitor.CompiledSuite
-	// suite is the current variant's suite, fed by the arena's single
-	// registered observer.
-	suite *monitor.CompiledSuite
+	// active are the compiled suites observing the current pass, fed by the
+	// arena's single registered observer.  Single-variant runs activate one
+	// suite; runGroupIsolated activates one per distinct tolerance.
+	active []*monitor.CompiledSuite
 	// collision is the stop-predicate slot, resolved once per arena.
 	collision int
 }
@@ -57,21 +68,28 @@ func newRunArena() *runArena {
 	return a
 }
 
-// Observe implements sim.StateObserver by forwarding each committed state to
-// the current variant's suite, so the simulation's observer list never grows
-// across variants.
-func (a *runArena) Observe(st temporal.State) { a.suite.Observe(st) }
+// Observe implements sim.StateObserver by fanning each committed state out to
+// every active suite, so the simulation's observer list never grows across
+// variants and K compiled programs can share one pass.
+func (a *runArena) Observe(st temporal.State) {
+	for _, s := range a.active {
+		s.Observe(st)
+	}
+}
 
-// prepare rewinds the arena for one variant: bus planes cleared, components
-// reset and reconfigured, signal vocabulary re-initialised (two plane stores
-// per signal — every name is already interned after the first variant), and
-// the tolerance's compiled suite selected and reset.
-func (a *runArena) prepare(sc Scenario, opts Options) {
+// Reset implements sim.Resetter for the arena itself: the simulation (bus
+// planes, component state, step clock) is rewound and the active-observer
+// list cleared.  The compiled-suite pool and the component set survive —
+// suites are rewound by activate when next used, and configure reassigns
+// every component parameter absolutely before the next run.
+func (a *runArena) Reset() {
 	a.sim.Reset()
-	a.set.configure(sc, opts)
-	initVehicleBus(a.sim.Bus, sc)
+	a.active = a.active[:0]
+}
 
-	tol := opts.tolerance()
+// activate fetches (or compiles) the tolerance's suite from the pool, rewinds
+// it and registers it with the observer fan-out for the current pass.
+func (a *runArena) activate(tol int) *monitor.CompiledSuite {
 	suite, ok := a.suites[tol]
 	if ok {
 		suite.Reset()
@@ -79,7 +97,19 @@ func (a *runArena) prepare(sc Scenario, opts Options) {
 		suite = buildCompiledSuite(Period, a.sim.Bus.Schema(), tol)
 		a.suites[tol] = suite
 	}
-	a.suite = suite
+	a.active = append(a.active, suite)
+	return suite
+}
+
+// prepare rewinds the arena for one variant: bus planes cleared, components
+// reset and reconfigured, signal vocabulary re-initialised (two plane stores
+// per signal — every name is already interned after the first variant), and
+// the tolerance's compiled suite activated.
+func (a *runArena) prepare(sc Scenario, opts Options) {
+	a.Reset()
+	a.set.configure(sc, opts)
+	initVehicleBus(a.sim.Bus, sc)
+	a.activate(opts.tolerance())
 }
 
 // run executes one summary-only variant on the rewound arena and returns its
@@ -95,12 +125,98 @@ func (a *runArena) run(sc Scenario, opts Options) Result {
 		sc.Duration = DefaultDuration
 	}
 	steps, last := a.sim.RunDiscard(sc.Duration)
-	a.suite.Finish()
+	suite := a.active[0]
+	suite.Finish()
 
 	return Result{
 		Scenario:  sc,
 		Steps:     steps,
-		Summary:   a.suite.FastSummary(),
+		Summary:   suite.FastSummary(),
 		Collision: last != nil && last.Bool(vehicle.SigCollision),
+	}
+}
+
+// runGroup executes one dynamics group — jobs sharing a DynamicsKey — as a
+// single simulation pass and fills out[i] with jobs[i]'s Result, exactly as
+// arena.run would have produced it.  One suite observes the shared
+// trajectory; each job's summary is then classified from the recorded
+// violation intervals at that job's own tolerance (FastSummaryAt).  The
+// override is sound because the tolerance parameterizes only the final
+// interval matching, never which intervals a run records; the grouped-vs-
+// ungrouped differential tests and runGroupIsolated prove it.
+func (a *runArena) runGroup(jobs []Job, out []Result) {
+	if len(jobs) == 1 {
+		out[0] = a.run(jobs[0].Scenario, jobs[0].Options)
+		return
+	}
+	lead := jobs[0]
+	a.prepare(lead.Scenario, lead.Options)
+	sc := lead.Scenario
+	if sc.Duration <= 0 {
+		sc.Duration = DefaultDuration
+	}
+	steps, last := a.sim.RunDiscard(sc.Duration)
+	suite := a.active[0]
+	suite.Finish()
+	collision := last != nil && last.Bool(vehicle.SigCollision)
+
+	for i, j := range jobs {
+		jsc := j.Scenario
+		if jsc.Duration <= 0 {
+			jsc.Duration = DefaultDuration
+		}
+		out[i] = Result{
+			Scenario:  jsc,
+			Steps:     steps,
+			Summary:   suite.FastSummaryAt(j.Options.tolerance()),
+			Collision: collision,
+		}
+	}
+}
+
+// runGroupIsolated is the multi-program reference execution of a dynamics
+// group: one compiled suite per distinct tolerance, all rewound and
+// registered on the shared pass through the observer fan-out, each job
+// classified by its own suite's recorders with no tolerance override.  It
+// proves the two halves of grouped execution independently — K programs
+// observing one pass record exactly what K separate passes would, and the
+// production fast path (one observer, K classifications) matches the
+// K-program semantics.  Engine workers use runGroup; this path exists for
+// the differential tests, like temporal.CompileReference.
+func (a *runArena) runGroupIsolated(jobs []Job, out []Result) {
+	lead := jobs[0]
+	a.Reset()
+	a.set.configure(lead.Scenario, lead.Options)
+	initVehicleBus(a.sim.Bus, lead.Scenario)
+
+	byTol := make(map[int]*monitor.CompiledSuite, len(jobs))
+	for _, j := range jobs {
+		tol := j.Options.tolerance()
+		if _, ok := byTol[tol]; !ok {
+			byTol[tol] = a.activate(tol)
+		}
+	}
+
+	sc := lead.Scenario
+	if sc.Duration <= 0 {
+		sc.Duration = DefaultDuration
+	}
+	steps, last := a.sim.RunDiscard(sc.Duration)
+	for _, s := range a.active {
+		s.Finish()
+	}
+	collision := last != nil && last.Bool(vehicle.SigCollision)
+
+	for i, j := range jobs {
+		jsc := j.Scenario
+		if jsc.Duration <= 0 {
+			jsc.Duration = DefaultDuration
+		}
+		out[i] = Result{
+			Scenario:  jsc,
+			Steps:     steps,
+			Summary:   byTol[j.Options.tolerance()].FastSummary(),
+			Collision: collision,
+		}
 	}
 }

@@ -132,8 +132,12 @@ type Engine struct {
 	workers   int
 	retention Retention
 	ordered   bool
+	grouping  bool
 	progress  func(completed int)
 	cache     *variantCache
+
+	statsMu sync.Mutex
+	stats   GroupStats
 }
 
 // EngineOption configures an Engine.
@@ -171,6 +175,19 @@ func WithResultCache() EngineOption {
 	return func(e *Engine) { e.cache = newVariantCache() }
 }
 
+// WithGrouping enables or disables dynamics-grouped execution (enabled by
+// default).  When enabled, consecutive jobs whose DynamicsKeys are equal —
+// e.g. the K tolerance variants of one sweep family — are dispatched as one
+// group and executed as a single simulation pass whose recorded trajectory
+// is classified once per job at that job's own tolerance, so a K-tolerance
+// sweep pays for ~1/K the simulation work.  Every job still produces its own
+// StreamResult under its own index and Job.Key, in source order, so sinks,
+// caches, sharding and the distributed merge observe byte-identical output
+// either way (the grouped-vs-ungrouped differential tests are the proof).
+// Grouping applies only under SummaryOnly retention; KeepTrace results own
+// their suites and always run per job.
+func WithGrouping(enabled bool) EngineOption { return func(e *Engine) { e.grouping = enabled } }
+
 // WithUnordered delivers results to the sink as they complete instead of in
 // source order.  Unordered delivery never buffers completed runs, so a sink
 // sees each result at the earliest possible moment; ordered delivery (the
@@ -179,9 +196,10 @@ func WithResultCache() EngineOption {
 func WithUnordered() EngineOption { return func(e *Engine) { e.ordered = false } }
 
 // NewEngine returns an Engine with the given options applied.  The defaults
-// are GOMAXPROCS workers, KeepTrace retention and ordered delivery.
+// are GOMAXPROCS workers, KeepTrace retention, ordered delivery and
+// dynamics-grouped execution.
 func NewEngine(opts ...EngineOption) *Engine {
-	e := &Engine{ordered: true}
+	e := &Engine{ordered: true, grouping: true}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -196,11 +214,21 @@ func (e *Engine) workerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// task is one dispatched job.
+// task is one dispatched unit of work: a run of consecutive jobs sharing a
+// DynamicsKey (one job when grouping is off or the stream's neighbours
+// differ).  idx is the source index of jobs[0]; the group's indices are
+// contiguous, so jobs[i] streams under index idx+i.
 type task struct {
-	idx int
-	job Job
+	idx  int
+	jobs []Job
 }
+
+// maxGroupWidth bounds how many jobs one dynamics group may carry.  The
+// bound keeps per-group memory O(1) and — because the ordered dispatcher
+// holds one window token per undispatched grouped job — guarantees the
+// window can never be exhausted by the pending group alone, whatever the
+// worker count.
+const maxGroupWidth = 16
 
 // Stream pulls jobs from src until it is exhausted or ctx is cancelled,
 // executes them on the worker pool, and delivers each Result to sink.  It
@@ -229,20 +257,54 @@ func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) err
 	// per job, released when the job's result is delivered, so dispatch can
 	// run at most window jobs ahead of in-order delivery.  Without it one
 	// slow run would let faster workers race ahead and the out-of-order
-	// buffer would grow O(completed), not O(workers).
+	// buffer would grow O(completed), not O(workers).  The extra
+	// maxGroupWidth tokens cover the dispatcher's pending dynamics group,
+	// whose jobs hold tokens before they are dispatched: even if the whole
+	// group is pending, 2*workers tokens remain in circulation, so grouping
+	// can never starve the window.
 	var window chan struct{}
 	if e.ordered {
-		window = make(chan struct{}, 2*workers)
+		window = make(chan struct{}, 2*workers+maxGroupWidth)
 	}
 
-	// exhausted records that the dispatcher consumed the whole source.  The
-	// write is ordered before close(tasks), which is ordered before
-	// close(results), which is ordered before the collector's read below.
+	// exhausted records that the dispatcher consumed the whole source AND
+	// dispatched every job (including a final pending group).  The write is
+	// ordered before close(tasks), which is ordered before close(results),
+	// which is ordered before the collector's read below.
 	exhausted := false
 
-	// Dispatcher: the only goroutine that touches src.
+	// Dispatcher: the only goroutine that touches src.  With grouping
+	// active it batches consecutive jobs whose DynamicsKeys match into one
+	// task; a group is flushed when the key changes, the width bound is
+	// reached, or the source ends, so dispatch order (and therefore result
+	// order) is exactly source order either way.
 	go func() {
 		defer close(tasks)
+		grouped := e.grouping && e.retention == SummaryOnly
+		var (
+			group    []Job
+			groupKey string
+			start    int
+		)
+		send := func(t task) bool {
+			select {
+			case tasks <- t:
+				return true
+			case <-ctx.Done():
+			case <-stop:
+			}
+			return false
+		}
+		// flush dispatches the pending group; the slice is handed to the
+		// worker, never reused.
+		flush := func() bool {
+			if len(group) == 0 {
+				return true
+			}
+			t := task{idx: start, jobs: group}
+			group = nil
+			return send(t)
+		}
 		for idx := 0; ; idx++ {
 			if e.ordered {
 				select {
@@ -263,16 +325,27 @@ func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) err
 			}
 			job, ok := src.Next()
 			if !ok {
-				exhausted = true
+				if flush() {
+					exhausted = true
+				}
 				return
 			}
-			select {
-			case tasks <- task{idx: idx, job: job}:
-			case <-ctx.Done():
-				return
-			case <-stop:
-				return
+			if !grouped {
+				if !send(task{idx: idx, jobs: []Job{job}}) {
+					return
+				}
+				continue
 			}
+			key := job.DynamicsKey()
+			if len(group) > 0 && (key != groupKey || len(group) == maxGroupWidth) {
+				if !flush() {
+					return
+				}
+			}
+			if len(group) == 0 {
+				start, groupKey = idx, key
+			}
+			group = append(group, job)
 		}
 	}()
 
@@ -367,20 +440,83 @@ func (e *Engine) runWorker(tasks <-chan task, results chan<- StreamResult) {
 		arena := arenaPool.Get().(*runArena)
 		defer arenaPool.Put(arena)
 		for t := range tasks {
-			res, hit := e.cache.lookup(t.job)
-			if !hit {
-				res = arena.run(t.job.Scenario, t.job.Options)
-				e.cache.store(t.job, res)
-			}
-			results <- StreamResult{Index: t.idx, Job: t.job, Result: res}
+			e.runGroupTask(arena, t, results)
 		}
 		return
 	}
 	cache := make(suiteCache)
 	for t := range tasks {
-		res := runJobCached(t.job.Scenario, t.job.Options, e.retention, cache)
-		results <- StreamResult{Index: t.idx, Job: t.job, Result: res}
+		for i, job := range t.jobs {
+			res := runJobCached(job.Scenario, job.Options, e.retention, cache)
+			results <- StreamResult{Index: t.idx + i, Job: job, Result: res}
+		}
 	}
+}
+
+// runGroupTask executes one dispatched dynamics group on the worker's arena.
+// Cache hits are resolved per job first; the remaining jobs run as one
+// simulation pass (arena.runGroup) and are stored back, and every job's
+// result streams under its own index and key — the collector, the result
+// cache and the distributed protocol never see grouping at all.
+func (e *Engine) runGroupTask(arena *runArena, t task, results chan<- StreamResult) {
+	if len(t.jobs) == 1 {
+		// Width-1 groups (grouping off, or no equal-dynamics neighbour) take
+		// the exact per-variant path of ungrouped execution.
+		job := t.jobs[0]
+		res, hit := e.cache.lookup(job)
+		sims := 0
+		if !hit {
+			res = arena.run(job.Scenario, job.Options)
+			e.cache.store(job, res)
+			sims = 1
+		}
+		e.recordGroup(1, sims)
+		results <- StreamResult{Index: t.idx, Job: job, Result: res}
+		return
+	}
+
+	out := make([]Result, len(t.jobs))
+	var missJobs []Job
+	var missIdx []int
+	for i, job := range t.jobs {
+		if res, hit := e.cache.lookup(job); hit {
+			out[i] = res
+		} else {
+			missJobs = append(missJobs, job)
+			missIdx = append(missIdx, i)
+		}
+	}
+	sims := 0
+	if len(missJobs) > 0 {
+		// The misses are a subset of one dynamics group, so they still share
+		// a DynamicsKey and one pass serves them all.
+		miss := make([]Result, len(missJobs))
+		arena.runGroup(missJobs, miss)
+		sims = 1
+		for k, i := range missIdx {
+			out[i] = miss[k]
+			e.cache.store(missJobs[k], miss[k])
+		}
+	}
+	e.recordGroup(len(t.jobs), sims)
+	for i, job := range t.jobs {
+		results <- StreamResult{Index: t.idx + i, Job: job, Result: out[i]}
+	}
+}
+
+// recordGroup folds one executed group into the Engine's GroupStats.  Only
+// grouped dispatch is recorded: with grouping disabled the stats stay zero,
+// so they always describe what grouping did rather than counting plain
+// per-job execution as width-1 groups.
+func (e *Engine) recordGroup(jobs, sims int) {
+	if !e.grouping {
+		return
+	}
+	e.statsMu.Lock()
+	e.stats.Groups++
+	e.stats.Jobs += jobs
+	e.stats.Sims += sims
+	e.statsMu.Unlock()
 }
 
 // ---------------------------------------------------------------------------
@@ -472,6 +608,44 @@ func (e *Engine) CacheStats() (hits, misses int) {
 	e.cache.mu.Lock()
 	defer e.cache.mu.Unlock()
 	return e.cache.hits, e.cache.misses
+}
+
+// GroupStats counts what dynamics-grouped execution did over an Engine's
+// lifetime (accumulated across streams, like the cache counters): how many
+// groups were dispatched, how many variants they carried, and how many
+// simulation passes were actually executed.  With the default configuration
+// (no result cache) Jobs - Sims is exactly the number of simulations that
+// grouping avoided; with a result cache enabled, fully and partially cached
+// groups skip passes too, so SimsSaved then counts both effects.
+type GroupStats struct {
+	// Groups is the number of dynamics groups dispatched to workers.
+	Groups int
+	// Jobs is the number of variants those groups carried.
+	Jobs int
+	// Sims is the number of simulation passes executed for them.
+	Sims int
+}
+
+// SimsSaved returns how many simulation passes were not run: the variants
+// carried minus the passes executed.
+func (g GroupStats) SimsSaved() int { return g.Jobs - g.Sims }
+
+// MeanWidth returns the mean number of variants per dispatched group (0
+// before any group ran).
+func (g GroupStats) MeanWidth() float64 {
+	if g.Groups == 0 {
+		return 0
+	}
+	return float64(g.Jobs) / float64(g.Groups)
+}
+
+// GroupStats returns the Engine's dynamics-grouping counters.  They stay
+// zero when grouping is disabled (WithGrouping(false)) and under KeepTrace
+// retention, where every job runs individually.
+func (e *Engine) GroupStats() GroupStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
 }
 
 // Accumulate streams src into a fresh Accumulator and returns it.  On

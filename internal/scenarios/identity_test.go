@@ -1,0 +1,209 @@
+package scenarios
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/vehicle"
+)
+
+// flipField mutates one reflect-addressable field to a distinct value,
+// returning false for kinds the table does not cover.  Slices (the driver
+// schedule) grow by one zero element, which changes their canonical JSON
+// encoding.
+func flipField(fv reflect.Value) bool {
+	switch fv.Kind() {
+	case reflect.Bool:
+		fv.SetBool(!fv.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fv.SetInt(fv.Int() + 1)
+	case reflect.Float32, reflect.Float64:
+		fv.SetFloat(fv.Float() + 1)
+	case reflect.String:
+		fv.SetString(fv.String() + "x")
+	case reflect.Slice:
+		fv.Set(reflect.Append(fv, reflect.Zero(fv.Type().Elem())))
+	default:
+		return false
+	}
+	return true
+}
+
+// checkKeys asserts how a mutated job's keys moved relative to the base job
+// for the declared field class: dynamics fields must change DynamicsKey and
+// leave MonitorKey alone, monitor fields the inverse, identity fields
+// neither.
+func checkKeys(t *testing.T, where string, class fieldClass, base, mod Job) {
+	t.Helper()
+	dynChanged := mod.DynamicsKey() != base.DynamicsKey()
+	monChanged := mod.MonitorKey() != base.MonitorKey()
+	switch class {
+	case dynamicsField:
+		if !dynChanged {
+			t.Errorf("%s: classified dynamics but DynamicsKey ignores it (key %q)", where, base.DynamicsKey())
+		}
+		if monChanged {
+			t.Errorf("%s: classified dynamics but flipping it changed MonitorKey", where)
+		}
+	case monitorField:
+		if dynChanged {
+			t.Errorf("%s: classified monitor-only but flipping it changed DynamicsKey", where)
+		}
+		if !monChanged {
+			t.Errorf("%s: classified monitor-only but MonitorKey ignores it (key %q)", where, base.MonitorKey())
+		}
+	case identityField:
+		if dynChanged || monChanged {
+			t.Errorf("%s: classified identity/metadata but flipping it changed a key (dynamics %v, monitor %v)",
+				where, dynChanged, monChanged)
+		}
+	default:
+		t.Errorf("%s: unknown field class %d", where, class)
+	}
+}
+
+// TestScenarioFieldsClassified walks every Scenario field by reflection and
+// asserts it is classified in scenarioFieldClass AND that the keys respect
+// the classification.  A scenario parameter added without a classification —
+// or classified dynamics but forgotten in DynamicsKey — fails here instead of
+// silently grouping jobs whose trajectories differ.
+func TestScenarioFieldsClassified(t *testing.T) {
+	base := Job{Scenario: Scenario{
+		Number:       7,
+		Name:         "base",
+		Duration:     2 * time.Second,
+		InitialSpeed: 8,
+		Gear:         "D",
+		Driver:       []vehicle.DriverAction{{At: time.Second}},
+	}}
+	rt := reflect.TypeOf(base.Scenario)
+	if len(scenarioFieldClass) != rt.NumField() {
+		t.Errorf("scenarioFieldClass has %d entries for %d Scenario fields: remove stale entries",
+			len(scenarioFieldClass), rt.NumField())
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		class, ok := scenarioFieldClass[name]
+		if !ok {
+			t.Errorf("Scenario field %s is not classified in scenarioFieldClass: decide whether it affects the simulated trajectory", name)
+			continue
+		}
+		mod := base
+		fv := reflect.ValueOf(&mod.Scenario).Elem().Field(i)
+		if !flipField(fv) {
+			t.Fatalf("Scenario field %s has kind %s: extend flipField", name, fv.Kind())
+		}
+		checkKeys(t, "Scenario."+name, class, base, mod)
+	}
+}
+
+// TestOptionsFieldsClassified is the Options counterpart: every field must be
+// classified dynamics vs monitor-only, and the keys must respect the split.
+// Struct-valued options (Defects) are flipped per leaf field.
+func TestOptionsFieldsClassified(t *testing.T) {
+	base := Job{Scenario: Scenario{Name: "base", Duration: 2 * time.Second}}
+	rt := reflect.TypeOf(base.Options)
+	if len(optionsFieldClass) != rt.NumField() {
+		t.Errorf("optionsFieldClass has %d entries for %d Options fields: remove stale entries",
+			len(optionsFieldClass), rt.NumField())
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		class, ok := optionsFieldClass[name]
+		if !ok {
+			t.Errorf("Options field %s is not classified in optionsFieldClass: decide whether it affects the simulated trajectory", name)
+			continue
+		}
+		mod := base
+		fv := reflect.ValueOf(&mod.Options).Elem().Field(i)
+		if fv.Kind() == reflect.Struct {
+			for j := 0; j < fv.NumField(); j++ {
+				sub := base
+				sv := reflect.ValueOf(&sub.Options).Elem().Field(i).Field(j)
+				if !flipField(sv) {
+					t.Fatalf("Options field %s.%s has kind %s: extend flipField",
+						name, fv.Type().Field(j).Name, sv.Kind())
+				}
+				checkKeys(t, "Options."+name+"."+fv.Type().Field(j).Name, class, base, sub)
+			}
+			continue
+		}
+		if !flipField(fv) {
+			t.Fatalf("Options field %s has kind %s: extend flipField", name, fv.Kind())
+		}
+		checkKeys(t, "Options."+name, class, base, mod)
+	}
+}
+
+// TestDynamicsKeyCanonical pins the canonicalizations DynamicsKey promises:
+// naming metadata is excluded, a zero duration equals the default duration
+// explicitly spelled out, and CorrectDefects equals the equivalent explicit
+// DefectSet.
+func TestDynamicsKeyCanonical(t *testing.T) {
+	sc, ok := ScenarioByNumber(7)
+	if !ok {
+		t.Fatal("scenario 7 missing")
+	}
+	base := Job{Scenario: sc}
+
+	renamed := base
+	renamed.Scenario.Name = "renamed"
+	renamed.Scenario.Number = 99
+	renamed.Scenario.Description = "different words"
+	if renamed.DynamicsKey() != base.DynamicsKey() {
+		t.Error("scenario naming metadata leaked into DynamicsKey")
+	}
+
+	zero, def := base, base
+	zero.Scenario.Duration = 0
+	def.Scenario.Duration = DefaultDuration
+	if zero.DynamicsKey() != def.DynamicsKey() {
+		t.Errorf("zero duration and DefaultDuration produce different DynamicsKeys:\n%q\n%q",
+			zero.DynamicsKey(), def.DynamicsKey())
+	}
+
+	flag, explicit := base, base
+	flag.Options.CorrectDefects = true
+	explicit.Options.Defects = AllDefectsCorrected
+	if flag.DynamicsKey() != explicit.DynamicsKey() {
+		t.Error("CorrectDefects and the equivalent explicit DefectSet produce different DynamicsKeys")
+	}
+
+	zeroTol, defTol := base, base
+	zeroTol.Options.MatchTolerance = 0
+	defTol.Options.MatchTolerance = matchTolerance
+	if zeroTol.MonitorKey() != defTol.MonitorKey() {
+		t.Errorf("zero MatchTolerance and the explicit default produce different MonitorKeys: %q vs %q",
+			zeroTol.MonitorKey(), defTol.MonitorKey())
+	}
+}
+
+// TestToleranceVariantsShareDynamics asserts the identity split on the sweep
+// the grouped path exists for: every tolerance-axis variant of one family
+// shares its siblings' DynamicsKey while keeping a distinct MonitorKey and a
+// distinct Job.Key — groupable for simulation, still individually identified
+// for sharding, caching and dedup.
+func TestToleranceVariantsShareDynamics(t *testing.T) {
+	for _, f := range ToleranceSweep().Families {
+		jobs := f.Variants()
+		if len(jobs) != 3 {
+			t.Fatalf("family %q: %d variants, want 3", f.Base.Name, len(jobs))
+		}
+		seenMon := make(map[string]bool)
+		seenKey := make(map[string]bool)
+		for _, j := range jobs {
+			if got, want := j.DynamicsKey(), jobs[0].DynamicsKey(); got != want {
+				t.Errorf("family %q: tolerance variant split the DynamicsKey:\n%q\n%q", f.Base.Name, got, want)
+			}
+			if seenMon[j.MonitorKey()] {
+				t.Errorf("family %q: duplicate MonitorKey %q", f.Base.Name, j.MonitorKey())
+			}
+			seenMon[j.MonitorKey()] = true
+			if seenKey[j.Key()] {
+				t.Errorf("family %q: duplicate Job.Key %q", f.Base.Name, j.Key())
+			}
+			seenKey[j.Key()] = true
+		}
+	}
+}
