@@ -577,6 +577,50 @@ func BenchmarkSuiteObserve(b *testing.B) {
 	})
 }
 
+// defectSweepShort is the lane-batching benchmark sweep: the 120-variant
+// defect sweep at 2 s durations.  Its variants differ in defect sets and
+// driver schedules — width-1 dynamics groups in long equal-duration runs —
+// so grouping alone saves nothing and any speedup is pure lane batching.
+func defectSweepShort() scenarios.Sweep {
+	sw := scenarios.DefectSweep()
+	for i := range sw.Families {
+		sw.Families[i].Base.Duration = 2 * time.Second
+	}
+	return sw
+}
+
+// BenchmarkDefectSweepLaned measures what lane-batched evaluation buys on a
+// dynamics-varying sweep: Laned steps four variants in lockstep through one
+// widened simulation (one commit, one compiled-program pass and one observer
+// dispatch per tick for the whole batch); Scalar simulates every variant
+// separately, the pre-lane behaviour.  Identical results either way — the
+// differential tests prove byte equality — so the ratio is the amortized
+// per-tick overhead.
+func BenchmarkDefectSweepLaned(b *testing.B) {
+	sweep := defectSweepShort()
+	for _, mode := range []struct {
+		name  string
+		lanes int
+	}{{"Laned", 4}, {"Scalar", 1}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine := scenarios.NewEngine(
+					scenarios.WithRetention(scenarios.SummaryOnly),
+					scenarios.WithLanes(mode.lanes))
+				acc, err := engine.Accumulate(context.Background(), sweep.Source())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if acc.Runs() != sweep.Size() {
+					b.Fatalf("ran %d of %d variants", acc.Runs(), sweep.Size())
+				}
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Distributed sweep execution (internal/dist)
 // ---------------------------------------------------------------------------
@@ -588,8 +632,18 @@ func BenchmarkSuiteObserve(b *testing.B) {
 // exactly the work a multi-process deployment adds on top of simulation.
 // The gap between the two is the protocol-and-merge overhead; it should stay
 // a small fraction of the simulation cost.
+//
+// Under -short the huge grid (tens of seconds per iteration at full 20 s
+// durations) is replaced by the same 1296-variant structure trimmed to 1 s
+// runs, which exercises the identical protocol path at a fraction of the
+// wall clock.
 func BenchmarkDistSweep(b *testing.B) {
 	sweep := scenarios.HugeSweep()
+	if testing.Short() {
+		for i := range sweep.Families {
+			sweep.Families[i].Base.Duration = 1 * time.Second
+		}
+	}
 	b.Run("SingleProcess", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -1,5 +1,5 @@
 // Command benchjson runs the repository's headline benchmarks with -benchmem
-// and writes a machine-readable JSON document (BENCH_8.json by default) with
+// and writes a machine-readable JSON document (BENCH_9.json by default) with
 // ns/op, B/op and allocs/op per benchmark, so the performance trajectory of
 // the evaluation hot path is recorded as data rather than prose: CI uploads
 // the file as a build artifact and future PRs diff their numbers against it.
@@ -8,7 +8,9 @@
 // BenchmarkRunSweepSummaryOnly (the end-to-end 40-variant summary-only
 // sweep), BenchmarkToleranceSweepGrouped (the 60-variant K-tolerance sweep
 // with dynamics-grouped execution versus per-variant simulation),
-// BenchmarkBusCommit (the per-step plane-memmove commit),
+// BenchmarkDefectSweepLaned (the 120-variant defect sweep lane-batched
+// versus scalar — the speedup of stepping four dynamics variants in
+// lockstep), BenchmarkBusCommit (the per-step plane-memmove commit),
 // BenchmarkSuiteObserve (the compiled monitoring plan against one state) and
 // BenchmarkDistSweep (the 1296-variant huge sweep single-process versus
 // through the distributed coordinator, recording the protocol-and-merge
@@ -16,8 +18,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_8.json] [-bench regex]
-//	                       [-benchtime 3x] [-count 1] [-pkg .]
+//	go run ./cmd/benchjson [-out BENCH_9.json] [-bench regex]
+//	                       [-benchtime 3x] [-count 1] [-pkg .] [-short]
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 )
 
 // defaultBenchRegex selects the headline benchmarks of the perf contract.
-const defaultBenchRegex = "BenchmarkRunSweepSummaryOnly$|BenchmarkToleranceSweepGrouped$|BenchmarkBusCommit$|BenchmarkSuiteObserve$|BenchmarkDistSweep$"
+const defaultBenchRegex = "BenchmarkRunSweepSummaryOnly$|BenchmarkToleranceSweepGrouped$|BenchmarkDefectSweepLaned$|BenchmarkBusCommit$|BenchmarkSuiteObserve$|BenchmarkDistSweep$"
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
@@ -62,23 +64,28 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output file")
+	out := flag.String("out", "BENCH_9.json", "output file")
 	bench := flag.String("bench", defaultBenchRegex, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
 	pkg := flag.String("pkg", ".", "package to benchmark")
+	short := flag.Bool("short", false, "pass -short to go test (benchmarks trim their heaviest sweeps)")
 	flag.Parse()
 
-	if err := run(*out, *bench, *benchtime, *count, *pkg); err != nil {
+	if err := run(*out, *bench, *benchtime, *count, *pkg, *short); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(out, bench, benchtime string, count int, pkg string) error {
-	cmd := exec.Command("go", "test", "-run=^$",
-		"-bench="+bench, "-benchmem", "-benchtime="+benchtime,
-		"-count="+strconv.Itoa(count), pkg)
+func run(out, bench, benchtime string, count int, pkg string, short bool) error {
+	args := []string{"test", "-run=^$",
+		"-bench=" + bench, "-benchmem", "-benchtime=" + benchtime,
+		"-count=" + strconv.Itoa(count)}
+	if short {
+		args = append(args, "-short")
+	}
+	cmd := exec.Command("go", append(args, pkg)...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {

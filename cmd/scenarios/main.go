@@ -307,12 +307,17 @@ func run(args []string, w io.Writer) error {
 }
 
 // engineStats renders the -cache-stats report: the result-cache hit/miss
-// counters and what dynamics-grouped execution did (groups formed, variants
-// carried, simulation passes actually run and thereby saved).
+// counters, what dynamics-grouped execution did (groups formed, variants
+// carried, simulation passes actually run and thereby saved) and what lane
+// batching did on top (widened runs executed, dynamics groups they carried
+// as lockstep lanes, and batches that fell back to the scalar path).
 func engineStats(engine *scenarios.Engine) string {
 	hits, misses := engine.CacheStats()
 	gs := engine.GroupStats()
+	ls := engine.LaneStats()
 	return fmt.Sprintf("result cache: %d hits, %d misses\n", hits, misses) +
 		fmt.Sprintf("dynamics groups: %d groups over %d jobs, %d sims run, %d saved (mean width %.2f)\n",
-			gs.Groups, gs.Jobs, gs.Sims, gs.SimsSaved(), gs.MeanWidth())
+			gs.Groups, gs.Jobs, gs.Sims, gs.SimsSaved(), gs.MeanWidth()) +
+		fmt.Sprintf("lane batches: %d widened runs over %d lanes, %d ragged (mean width %.2f)\n",
+			ls.Batches, ls.Lanes, ls.Ragged, ls.MeanWidth())
 }

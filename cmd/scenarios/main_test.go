@@ -448,8 +448,11 @@ func TestEngineStatsReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := engineStats(engine)
+	// Ten equal-duration dynamics groups widen into 4+4+2 lane batches at
+	// the default width of four.
 	want := "result cache: 0 hits, 30 misses\n" +
-		"dynamics groups: 10 groups over 30 jobs, 10 sims run, 20 saved (mean width 3.00)\n"
+		"dynamics groups: 10 groups over 30 jobs, 10 sims run, 20 saved (mean width 3.00)\n" +
+		"lane batches: 3 widened runs over 10 lanes, 0 ragged (mean width 3.33)\n"
 	if got != want {
 		t.Errorf("engineStats =\n%q\nwant\n%q", got, want)
 	}
@@ -458,7 +461,8 @@ func TestEngineStatsReport(t *testing.T) {
 	// than omitting the lines, so the format is stable for log scrapers.
 	empty := engineStats(scenarios.NewEngine(scenarios.WithGrouping(false)))
 	want = "result cache: 0 hits, 0 misses\n" +
-		"dynamics groups: 0 groups over 0 jobs, 0 sims run, 0 saved (mean width 0.00)\n"
+		"dynamics groups: 0 groups over 0 jobs, 0 sims run, 0 saved (mean width 0.00)\n" +
+		"lane batches: 0 widened runs over 0 lanes, 0 ragged (mean width 0.00)\n"
 	if empty != want {
 		t.Errorf("zero-state engineStats =\n%q\nwant\n%q", empty, want)
 	}

@@ -54,6 +54,22 @@
 // byte-identical with grouping on or off — and Engine.GroupStats reports
 // groups formed, variants carried and simulation passes saved.
 //
+// Groups with different dynamics widen further into lanes: the SoA planes
+// carry an inner lane dimension (physical index slot*lanes + lane, booleans
+// packed at bit slot*lanes+lane), so up to 64 distinct trajectories occupy
+// one widened Registers and a single pointer-free commit advances all of
+// them.  A lane-mode temporal.Program (StepLanes) evaluates each node to a
+// per-lane uint64 verdict mask — one pass over the shared node array serves
+// every lane — and monitor.LaneSuite folds mask diffs into per-lane
+// violation intervals, touching per-lane state only on ticks where some
+// lane's verdict changed.  The Engine's dispatcher batches consecutive
+// equal-duration dynamics groups into lane tasks (WithLanes, on by default
+// for summary-only runs; ragged remainders fall back to the scalar arena),
+// per-lane stop masks retire collided lanes early, and differential tests
+// prove the laned stream byte-identical to the scalar one across the full
+// evaluation.  Engine.LaneStats reports batches widened, lanes carried and
+// ragged fallbacks; BENCH_9.json records the speedup.
+//
 // Monitoring is evaluated as one composed artifact: temporal.Program
 // compiles every goal and subgoal formula of a monitor suite into a single
 // flat, topologically ordered node array with common subexpressions

@@ -1,0 +1,46 @@
+package dist
+
+// Distributed differential for lane-batched execution: LocalTransport
+// workers build their engines with the default configuration, so lane
+// batching is active inside every shard.  The defect sweep's consecutive
+// variants almost all carry distinct DynamicsKeys with equal scheduled
+// durations — exactly the stream shape the dispatcher widens into lane
+// batches — and sharding additionally cuts those batches at arbitrary
+// boundaries.  The merged output must still be byte-identical to the
+// single-process reference.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scenarios"
+)
+
+// laneSweep is the defect sweep with trimmed durations: per-feature defect
+// subsets and perturbed driver schedules yield width-1 dynamics groups in
+// long equal-duration runs, so every shard executes real multi-lane batches
+// (plus ragged remainders at shard edges).
+func laneSweep(t *testing.T) scenarios.Sweep {
+	t.Helper()
+	sw, err := scenarios.SweepBySize("defects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sw.Families {
+		sw.Families[i].Base.Duration = 500 * time.Millisecond
+	}
+	return sw
+}
+
+func TestCoordinatorLanedDefectSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 120-variant defect sweep twice")
+	}
+	sw := laneSweep(t)
+	wantStream, wantAgg := singleProcess(t, sw.Source())
+	gotStream, gotAgg := distributed(t, Options{
+		Workers:   3,
+		Transport: &LocalTransport{Source: sw.Source},
+	}, sw.Source())
+	requireIdentical(t, wantStream, wantAgg, gotStream, gotAgg)
+}

@@ -46,12 +46,16 @@ func hotRootKeys(modPath string) [][3]string {
 	return [][3]string{
 		{temporal, "Registers", "CopyFrom"},
 		{sim, "Bus", "Commit"},
+		{sim, "LaneBus", "Commit"},
 		{temporal, "Program", "Step"},
+		{temporal, "Program", "StepLanes"},
 		{monitor, "CompiledSuite", "Observe"},
+		{monitor, "LaneSuite", "ObserveLanes"},
 		{monitor, "Suite", "FastSummary"},
 		{monitor, "CompiledSuite", "FastSummary"},
 		{monitor, "Suite", "FastSummaryAt"},
 		{monitor, "CompiledSuite", "FastSummaryAt"},
+		{monitor, "LaneSuite", "FastSummaryAt"},
 		{scenarios, "runArena", "Observe"},
 	}
 }

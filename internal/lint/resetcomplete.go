@@ -8,11 +8,14 @@ import (
 )
 
 // analyzerResetComplete checks the pooled-arena invariant: a type that is
-// reset and reused between runs — its pointer type implements sim.Resetter
-// together with either sim.Component (a stepped component) or
-// sim.StateObserver (an observer fed each committed state, e.g. a compiled
-// monitor suite in the engine's observe fan-out) — must restore, in Reset,
-// every field its other methods write.  A field Reset misses keeps the
+// reset and reused between runs — its pointer type declares a Reset method
+// together with either sim.Component (a stepped component), sim.StateObserver
+// (an observer fed each committed state, e.g. a compiled monitor suite in the
+// engine's observe fan-out) or sim.LaneObserver (a lane-batched observer fed
+// widened states, e.g. monitor.LaneSuite) — must restore, in Reset, every
+// field its other methods write.  Lane harness Resets legitimately take
+// parameters (the active lane count), so any method named Reset qualifies,
+// not just the sim.Resetter signature.  A field Reset misses keeps the
 // previous run's value and corrupts every later run of the arena — the exact
 // cross-run state leak the reuse tests probe dynamically, proven here for
 // all fields at once.
@@ -41,13 +44,13 @@ func runResetComplete(prog *Program) []Diagnostic {
 	}
 	component := namedInterface(simPkg, "Component")
 	observer := namedInterface(simPkg, "StateObserver")
-	resetter := namedInterface(simPkg, "Resetter")
-	if component == nil || observer == nil || resetter == nil {
+	laneObserver := namedInterface(simPkg, "LaneObserver")
+	if component == nil || observer == nil || laneObserver == nil {
 		return nil
 	}
 	var diags []Diagnostic
 	for _, pkg := range prog.Packages {
-		diags = append(diags, resetCompletePackage(prog, pkg, component, observer, resetter)...)
+		diags = append(diags, resetCompletePackage(prog, pkg, component, observer, laneObserver)...)
 	}
 	return diags
 }
@@ -62,7 +65,7 @@ func namedInterface(pkg *Package, name string) *types.Interface {
 	return iface
 }
 
-func resetCompletePackage(prog *Program, pkg *Package, component, observer, resetter *types.Interface) []Diagnostic {
+func resetCompletePackage(prog *Program, pkg *Package, component, observer, laneObserver *types.Interface) []Diagnostic {
 	methods := methodDeclsByType(pkg)
 	structs := structSpecsByType(pkg)
 
@@ -78,20 +81,22 @@ func resetCompletePackage(prog *Program, pkg *Package, component, observer, rese
 			continue
 		}
 		ptr := types.NewPointer(tn.Type())
-		pooled := types.Implements(ptr, component) || types.Implements(ptr, observer)
-		if !pooled || !types.Implements(ptr, resetter) {
+		pooled := types.Implements(ptr, component) || types.Implements(ptr, observer) ||
+			types.Implements(ptr, laneObserver)
+		if !pooled {
 			continue
 		}
 		decls := methods[tn]
 		var resetDecl *ast.FuncDecl
 		for _, d := range decls {
-			if d.Name.Name == "Reset" && d.Type.Params.NumFields() == 0 {
+			if d.Name.Name == "Reset" {
 				resetDecl = d
 			}
 		}
 		if resetDecl == nil {
-			// Reset is promoted from an embedded type; the embedded type is
-			// checked where it is declared.
+			// No declared Reset: either the type is not pooled at all, or
+			// Reset is promoted from an embedded type, which is checked where
+			// it is declared.
 			continue
 		}
 

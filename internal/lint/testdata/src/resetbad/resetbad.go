@@ -59,3 +59,23 @@ func (w *Watcher) Observe(st temporal.State) {
 }
 
 func (w *Watcher) Reset() { w.seen = 0 }
+
+// LaneWatcher is a pooled lane observer (the lane harness feeds it each
+// committed widened state); its parametered Reset — the lane-harness idiom,
+// taking the next batch's active lane count — restores steps but forgets
+// worst, so a reused lane suite would carry the previous batch's extreme.
+type LaneWatcher struct {
+	steps int
+	worst float64 // want "field worst of resetbad.LaneWatcher is written by its methods but not restored in Reset"
+}
+
+func (w *LaneWatcher) ObserveLanes(st temporal.State) {
+	w.steps++
+	if v := st.Number("accel"); v > w.worst {
+		w.worst = v
+	}
+}
+
+func (w *LaneWatcher) LaneStopped(lane int) {}
+
+func (w *LaneWatcher) Reset(active int) { w.steps = 0 }

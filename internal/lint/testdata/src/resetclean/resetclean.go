@@ -92,3 +92,20 @@ func (p *Probe) Reset() {
 	p.peak = 0
 	p.count = 0
 }
+
+// LaneProbe is a pooled lane observer whose parametered Reset (the
+// lane-harness idiom: Reset takes the next batch's active lane count)
+// restores every mutable field.
+type LaneProbe struct {
+	active int
+	ticks  int
+}
+
+func (p *LaneProbe) ObserveLanes(st temporal.State) { p.ticks++ }
+
+func (p *LaneProbe) LaneStopped(lane int) { p.active-- }
+
+func (p *LaneProbe) Reset(active int) {
+	p.active = active
+	p.ticks = 0
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/temporal"
 )
 
 // ---------------------------------------------------------------------------
@@ -133,11 +135,13 @@ type Engine struct {
 	retention Retention
 	ordered   bool
 	grouping  bool
+	lanes     int
 	progress  func(completed int)
 	cache     *variantCache
 
-	statsMu sync.Mutex
-	stats   GroupStats
+	statsMu   sync.Mutex
+	stats     GroupStats
+	laneStats LaneStats
 }
 
 // EngineOption configures an Engine.
@@ -188,6 +192,39 @@ func WithResultCache() EngineOption {
 // their suites and always run per job.
 func WithGrouping(enabled bool) EngineOption { return func(e *Engine) { e.grouping = enabled } }
 
+// defaultLaneWidth is the lane-batch width summary-only engines use unless
+// WithLanes overrides it.  Four lanes amortize the per-tick commit, program
+// step and observer dispatch well while keeping the widened register planes
+// comfortably inside cache.
+const defaultLaneWidth = 4
+
+// WithLanes sets the lane-batch width: how many consecutive dynamics groups
+// of equal scheduled duration are widened into one lockstep simulation whose
+// register planes carry all of their trajectories side by side.  Unlike
+// grouping — which only helps when neighbouring jobs share a DynamicsKey —
+// lane batching accelerates sweeps whose every variant has a different
+// trajectory (speed/distance/defect axes): N variants pay one commit, one
+// lane-program step and one observer dispatch per tick between them.
+//
+// Lane batching rides on grouped dispatch and applies only under SummaryOnly
+// retention, where it is ON by default at defaultLaneWidth; n <= 1 disables
+// it (every group runs on the scalar arena path) and widths above
+// temporal.MaxLanes are clamped.  Results stream under each job's original
+// index and Job.Key either way, so sinks, caches, sharding and the
+// distributed merge observe byte-identical output — the laned-vs-scalar
+// differential tests are the proof.
+func WithLanes(n int) EngineOption {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		if n > temporal.MaxLanes {
+			n = temporal.MaxLanes
+		}
+		e.lanes = n
+	}
+}
+
 // WithUnordered delivers results to the sink as they complete instead of in
 // source order.  Unordered delivery never buffers completed runs, so a sink
 // sees each result at the earliest possible moment; ordered delivery (the
@@ -196,10 +233,11 @@ func WithGrouping(enabled bool) EngineOption { return func(e *Engine) { e.groupi
 func WithUnordered() EngineOption { return func(e *Engine) { e.ordered = false } }
 
 // NewEngine returns an Engine with the given options applied.  The defaults
-// are GOMAXPROCS workers, KeepTrace retention, ordered delivery and
-// dynamics-grouped execution.
+// are GOMAXPROCS workers, KeepTrace retention, ordered delivery,
+// dynamics-grouped execution and lane batching at defaultLaneWidth (active
+// only under SummaryOnly retention).
 func NewEngine(opts ...EngineOption) *Engine {
-	e := &Engine{ordered: true, grouping: true}
+	e := &Engine{ordered: true, grouping: true, lanes: defaultLaneWidth}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -214,13 +252,35 @@ func (e *Engine) workerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// task is one dispatched unit of work: a run of consecutive jobs sharing a
-// DynamicsKey (one job when grouping is off or the stream's neighbours
-// differ).  idx is the source index of jobs[0]; the group's indices are
-// contiguous, so jobs[i] streams under index idx+i.
+// laneWidth resolves the effective lane-batch width: lane batching rides on
+// grouped summary-only dispatch and is otherwise inert.
+func (e *Engine) laneWidth() int {
+	if e.lanes > 1 && e.grouping && e.retention == SummaryOnly {
+		return e.lanes
+	}
+	return 1
+}
+
+// task is one dispatched unit of work.  A grouped task is a run of
+// consecutive jobs sharing a DynamicsKey (one job when grouping is off or
+// the stream's neighbours differ); a lane-batched task (groups != nil) is a
+// run of consecutive dynamics groups with equal scheduled duration, executed
+// as one lane-widened simulation.  idx is the source index of the first job;
+// a task's jobs are contiguous in source order either way, so job i of the
+// flattened task streams under index idx+i.
 type task struct {
-	idx  int
-	jobs []Job
+	idx    int
+	jobs   []Job
+	groups [][]Job
+}
+
+// scheduledDuration normalizes a scenario's run length the way every
+// execution path does before simulating.
+func scheduledDuration(sc Scenario) time.Duration {
+	if sc.Duration <= 0 {
+		return DefaultDuration
+	}
+	return sc.Duration
 }
 
 // maxGroupWidth bounds how many jobs one dynamics group may carry.  The
@@ -257,14 +317,19 @@ func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) err
 	// per job, released when the job's result is delivered, so dispatch can
 	// run at most window jobs ahead of in-order delivery.  Without it one
 	// slow run would let faster workers race ahead and the out-of-order
-	// buffer would grow O(completed), not O(workers).  The extra
-	// maxGroupWidth tokens cover the dispatcher's pending dynamics group,
-	// whose jobs hold tokens before they are dispatched: even if the whole
-	// group is pending, 2*workers tokens remain in circulation, so grouping
-	// can never starve the window.
+	// buffer would grow O(completed), not O(workers).  The extra tokens
+	// cover the dispatcher's pending work, whose jobs hold tokens before
+	// they are dispatched — one dynamics group, or with lane batching up to
+	// e.lanes groups accumulating toward one widened task: even if all of it
+	// is pending, 2*workers tokens remain in circulation, so batching can
+	// never starve the window.
 	var window chan struct{}
 	if e.ordered {
-		window = make(chan struct{}, 2*workers+maxGroupWidth)
+		pendingCap := maxGroupWidth
+		if e.laneWidth() > 1 {
+			pendingCap = e.laneWidth() * maxGroupWidth
+		}
+		window = make(chan struct{}, 2*workers+pendingCap)
 	}
 
 	// exhausted records that the dispatcher consumed the whole source AND
@@ -275,16 +340,25 @@ func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) err
 
 	// Dispatcher: the only goroutine that touches src.  With grouping
 	// active it batches consecutive jobs whose DynamicsKeys match into one
-	// task; a group is flushed when the key changes, the width bound is
-	// reached, or the source ends, so dispatch order (and therefore result
-	// order) is exactly source order either way.
+	// group; a group closes when the key changes, the width bound is
+	// reached, or the source ends.  With lane batching active, closed
+	// groups additionally accumulate into a lane batch — up to laneWidth
+	// consecutive groups with equal scheduled duration, dispatched as one
+	// widened task; a duration change or the source's end flushes the
+	// partial batch.  Dispatch order (and therefore result order) is
+	// exactly source order in every mode.
 	go func() {
 		defer close(tasks)
 		grouped := e.grouping && e.retention == SummaryOnly
+		laneWidth := e.laneWidth()
 		var (
 			group    []Job
 			groupKey string
 			start    int
+
+			batch      [][]Job
+			batchStart int
+			batchDur   time.Duration
 		)
 		send := func(t task) bool {
 			select {
@@ -295,15 +369,43 @@ func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) err
 			}
 			return false
 		}
-		// flush dispatches the pending group; the slice is handed to the
-		// worker, never reused.
+		// sendBatch dispatches the pending lane batch; the slices are handed
+		// to the worker, never reused.
+		sendBatch := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			t := task{idx: batchStart, groups: batch}
+			batch = nil
+			return send(t)
+		}
+		// flush closes the pending group: dispatched directly in grouped
+		// mode, folded into the lane batch (flushing it on a scheduled-
+		// duration mismatch or at full width) in laned mode.
 		flush := func() bool {
 			if len(group) == 0 {
 				return true
 			}
-			t := task{idx: start, jobs: group}
+			if laneWidth <= 1 {
+				t := task{idx: start, jobs: group}
+				group = nil
+				return send(t)
+			}
+			d := scheduledDuration(group[0].Scenario)
+			if len(batch) > 0 && d != batchDur {
+				if !sendBatch() {
+					return false
+				}
+			}
+			if len(batch) == 0 {
+				batchStart, batchDur = start, d
+			}
+			batch = append(batch, group)
 			group = nil
-			return send(t)
+			if len(batch) == laneWidth {
+				return sendBatch()
+			}
+			return true
 		}
 		for idx := 0; ; idx++ {
 			if e.ordered {
@@ -325,7 +427,7 @@ func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) err
 			}
 			job, ok := src.Next()
 			if !ok {
-				if flush() {
+				if flush() && sendBatch() {
 					exhausted = true
 				}
 				return
@@ -429,6 +531,20 @@ func (e *Engine) Stream(ctx context.Context, src JobSource, sink ResultSink) err
 // evaluating batch after batch) skip the per-worker setup entirely.
 var arenaPool = sync.Pool{New: func() any { return newRunArena() }}
 
+// laneArenaPool recycles lane arenas the same way.  Widths can differ across
+// Engines, so the pool is width-checked on borrow: a mismatched arena is
+// dropped (for the GC) and a fresh one built at the requested width.
+var laneArenaPool sync.Pool
+
+// borrowLaneArena fetches a lane arena of the given width from the pool,
+// building one when the pool is empty or holds a different width.
+func borrowLaneArena(lanes int) *laneArena {
+	if a, _ := laneArenaPool.Get().(*laneArena); a != nil && a.lanes == lanes {
+		return a
+	}
+	return newLaneArena(lanes)
+}
+
 // runWorker executes dispatched jobs until the task channel closes.  Under
 // SummaryOnly retention the worker borrows a run arena — one schema, bus,
 // component set and compiled program per tolerance, rewound between variants
@@ -439,7 +555,23 @@ func (e *Engine) runWorker(tasks <-chan task, results chan<- StreamResult) {
 	if e.retention == SummaryOnly {
 		arena := arenaPool.Get().(*runArena)
 		defer arenaPool.Put(arena)
+		// The lane arena is borrowed lazily on the first lane-batched task:
+		// a stream whose batches all degenerate to scalar dispatch (lanes
+		// disabled, ragged tails) never pays for one.
+		var lanes *laneArena
+		defer func() {
+			if lanes != nil {
+				laneArenaPool.Put(lanes)
+			}
+		}()
 		for t := range tasks {
+			if t.groups != nil {
+				if lanes == nil {
+					lanes = borrowLaneArena(e.laneWidth())
+				}
+				e.runLaneTask(arena, lanes, t, results)
+				continue
+			}
 			e.runGroupTask(arena, t, results)
 		}
 		return
@@ -501,6 +633,89 @@ func (e *Engine) runGroupTask(arena *runArena, t task, results chan<- StreamResu
 	e.recordGroup(len(t.jobs), sims)
 	for i, job := range t.jobs {
 		results <- StreamResult{Index: t.idx + i, Job: job, Result: out[i]}
+	}
+}
+
+// runLaneTask executes one lane batch — consecutive dynamics groups with
+// equal scheduled duration — on the worker's lane arena.  Cache hits are
+// resolved per job first; a group whose jobs all hit drops out of the batch
+// entirely.  The surviving groups' miss subsets (each still sharing its
+// group's DynamicsKey) run as ONE lane-widened simulation, one group per
+// lane; when at most one group survives, the batch falls back to the scalar
+// arena path (a ragged batch — the lane harness would be stepping a single
+// lane).  Every job's result streams under its own index and key, and
+// GroupStats are recorded per group exactly as grouped dispatch records
+// them, so laning is invisible to the collector, the cache, sharding and
+// the distributed merge.
+func (e *Engine) runLaneTask(arena *runArena, la *laneArena, t task, results chan<- StreamResult) {
+	total := 0
+	for _, g := range t.groups {
+		total += len(g)
+	}
+	out := make([]Result, total)
+
+	// Per-group cache resolution, preserving flat job order.
+	var (
+		live    [][]Job // miss subset per surviving group
+		liveIdx [][]int // flat out-indices of those misses
+		misses  int
+	)
+	flat := 0
+	for _, g := range t.groups {
+		var missJobs []Job
+		var missIdx []int
+		for _, job := range g {
+			if res, hit := e.cache.lookup(job); hit {
+				out[flat] = res
+			} else {
+				missJobs = append(missJobs, job)
+				missIdx = append(missIdx, flat)
+			}
+			flat++
+		}
+		sims := 0
+		if len(missJobs) > 0 {
+			sims = 1
+			live = append(live, missJobs)
+			liveIdx = append(liveIdx, missIdx)
+			misses += len(missJobs)
+		}
+		e.recordGroup(len(g), sims)
+	}
+
+	switch {
+	case len(live) == 0:
+		// Fully cached batch: nothing to simulate.
+	case len(live) == 1:
+		// Ragged: one surviving group widens nothing; the scalar grouped
+		// path is the faster (and identical) execution.
+		miss := make([]Result, len(live[0]))
+		arena.runGroup(live[0], miss)
+		for k, fi := range liveIdx[0] {
+			out[fi] = miss[k]
+			e.cache.store(live[0][k], miss[k])
+		}
+		e.recordLaneBatch(0, 0, 1)
+	default:
+		miss := make([]Result, misses)
+		la.run(live, miss)
+		mi := 0
+		for gi := range live {
+			for k := range live[gi] {
+				out[liveIdx[gi][k]] = miss[mi]
+				e.cache.store(live[gi][k], miss[mi])
+				mi++
+			}
+		}
+		e.recordLaneBatch(1, len(live), 0)
+	}
+
+	flat = 0
+	for _, g := range t.groups {
+		for _, job := range g {
+			results <- StreamResult{Index: t.idx + flat, Job: job, Result: out[flat]}
+			flat++
+		}
 	}
 }
 
@@ -641,11 +856,57 @@ func (g GroupStats) MeanWidth() float64 {
 
 // GroupStats returns the Engine's dynamics-grouping counters.  They stay
 // zero when grouping is disabled (WithGrouping(false)) and under KeepTrace
-// retention, where every job runs individually.
+// retention, where every job runs individually.  Sims counts per-trajectory
+// simulations whether a group ran on the scalar arena or as one lane of a
+// widened batch; LaneStats describes how those trajectories were batched.
 func (e *Engine) GroupStats() GroupStats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	return e.stats
+}
+
+// recordLaneBatch folds one lane-batched task's execution into the Engine's
+// LaneStats: batches/lanes count widened runs and the dynamics groups they
+// carried, ragged counts batches that fell back to the scalar path.
+func (e *Engine) recordLaneBatch(batches, lanes, ragged int) {
+	e.statsMu.Lock()
+	e.laneStats.Batches += batches
+	e.laneStats.Lanes += lanes
+	e.laneStats.Ragged += ragged
+	e.statsMu.Unlock()
+}
+
+// LaneStats counts what lane-batched execution did over an Engine's lifetime
+// (accumulated across streams, like GroupStats and the cache counters).
+type LaneStats struct {
+	// Batches is the number of lane-widened simulations executed.
+	Batches int
+	// Lanes is the number of dynamics groups those batches carried — each a
+	// trajectory that would otherwise have been its own scalar pass.
+	Lanes int
+	// Ragged is the number of dispatched lane batches that fell back to the
+	// scalar path because at most one group survived cache resolution (or
+	// the batch was dispatched at width 1: a ragged remainder of the
+	// stream's grouping structure).
+	Ragged int
+}
+
+// MeanWidth returns the mean number of lanes per widened batch (0 before any
+// batch ran).
+func (s LaneStats) MeanWidth() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Lanes) / float64(s.Batches)
+}
+
+// LaneStats returns the Engine's lane-batching counters.  They stay zero
+// when lane batching is inert (WithLanes(1), grouping disabled, or KeepTrace
+// retention).
+func (e *Engine) LaneStats() LaneStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.laneStats
 }
 
 // Accumulate streams src into a fresh Accumulator and returns it.  On

@@ -595,6 +595,12 @@ func TestEngineCompletedStreamIgnoresLateCancel(t *testing.T) {
 // first job is much slower than the rest, dispatch stalls instead of letting
 // the out-of-order buffer grow O(completed).  With a window of 2*workers, at
 // most 2*workers results can complete before the head of the line delivers.
+//
+// The engine runs at WithLanes(1): this test pins the scalar window bound,
+// and lane batching deliberately holds a closed dynamics group back (waiting
+// for equal-duration siblings to widen the batch), so under lanes the head
+// group legitimately dispatches later and the window carries extra pending
+// capacity (2*workers + lanes*maxGroupWidth).
 func TestEngineOrderedBackpressure(t *testing.T) {
 	base, ok := ScenarioByNumber(7)
 	if !ok {
@@ -622,7 +628,7 @@ func TestEngineOrderedBackpressure(t *testing.T) {
 	})
 
 	pulledAtHead := int64(-1)
-	err := NewEngine(WithWorkers(workers), WithRetention(SummaryOnly)).Stream(
+	err := NewEngine(WithWorkers(workers), WithRetention(SummaryOnly), WithLanes(1)).Stream(
 		context.Background(), src, SinkFunc(func(sr StreamResult) error {
 			if sr.Index == 0 {
 				// The head of the line delivers ~2 s in, long after every

@@ -1,0 +1,323 @@
+package scenarios
+
+// Differential tests for lane-batched execution: an Engine at the default
+// lane width must produce byte-identical output — every StreamResult, in the
+// same order, under the same index and Job.Key, folding to the same
+// aggregate — as the same Engine at WithLanes(1), whose dispatch and
+// execution are exactly the PR 8 scalar grouped path.  The laned path steps
+// several dynamics groups in lockstep through one widened simulation, so
+// these tests are the proof that widening is unobservable downstream.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vehicle"
+)
+
+// assertLanedMatchesScalar is the core differential: one sweep, two engines
+// differing only in lane width, byte-identical stream and aggregate.
+func assertLanedMatchesScalar(t *testing.T, src func() JobSource, opts ...EngineOption) {
+	t.Helper()
+	base := append([]EngineOption{WithRetention(SummaryOnly)}, opts...)
+	gotStream, gotAgg := streamBytes(t, src(), base...)
+	wantStream, wantAgg := streamBytes(t, src(), append(base, WithLanes(1))...)
+	if !bytes.Equal(gotStream, wantStream) {
+		t.Errorf("laned result stream differs from scalar (%d vs %d bytes)",
+			len(gotStream), len(wantStream))
+	}
+	if !bytes.Equal(gotAgg, wantAgg) {
+		t.Errorf("laned aggregate differs from scalar:\n laned:  %s\n scalar: %s",
+			gotAgg, wantAgg)
+	}
+}
+
+// thesisScenarioJobs returns one job per thesis scenario at an equal trimmed
+// duration: ten consecutive distinct DynamicsKeys, so the dispatcher forms
+// real multi-lane batches (the shape lane batching exists for, which the
+// tolerance sweep — whose consecutive jobs share keys — never produces).
+func thesisScenarioJobs(d time.Duration) []Job {
+	var jobs []Job
+	for _, sc := range Scenarios() {
+		sc.Duration = d
+		jobs = append(jobs, Job{Scenario: sc})
+	}
+	return jobs
+}
+
+// TestLanedMatchesScalarScenarios proves lane batching on the ten thesis
+// scenarios: ten width-1 dynamics groups with equal durations batch into
+// 4+4+2 lanes, and the widened runs must reproduce the scalar stream byte
+// for byte — including each scenario's own collision step and summary.
+func TestLanedMatchesScalarScenarios(t *testing.T) {
+	jobs := thesisScenarioJobs(1 * time.Second)
+	assertLanedMatchesScalar(t, func() JobSource { return SliceSource(jobs) })
+}
+
+// TestLanedMatchesScalarSweeps extends the differential across the sweep
+// presets: the tolerance sweep (wide groups, few keys), the defect sweep
+// (defect/driver axes — many distinct keys) and the huge sweep (1296
+// variants, mixed group widths and a ragged tail).
+func TestLanedMatchesScalarSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep presets twice each")
+	}
+	for _, preset := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"tolerance", 1 * time.Second},
+		{"defects", 500 * time.Millisecond},
+		{"huge", 500 * time.Millisecond},
+	} {
+		preset := preset
+		t.Run(preset.name, func(t *testing.T) {
+			sw, err := SweepBySize(preset.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range sw.Families {
+				sw.Families[i].Base.Duration = preset.d
+			}
+			assertLanedMatchesScalar(t, sw.Source)
+		})
+	}
+}
+
+// TestLanedMatchesScalarWithCache layers the result cache over lane-batched
+// execution: a first pass primes half the stream, so the second pass
+// dispatches batches whose groups are fully cached, partially cached and
+// uncached — exercising the per-job hit resolution, the miss-subset lanes
+// and the single-survivor scalar fallback — and must still match the scalar
+// engine byte for byte.
+func TestLanedMatchesScalarWithCache(t *testing.T) {
+	jobs := thesisScenarioJobs(500 * time.Millisecond)
+	half := jobs[:len(jobs)/2]
+
+	laned := NewEngine(WithRetention(SummaryOnly), WithResultCache())
+	scalar := NewEngine(WithRetention(SummaryOnly), WithResultCache(), WithLanes(1))
+	collect := func(e *Engine, js []Job) []byte {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		err := e.Stream(context.Background(), SliceSource(js), SinkFunc(func(sr StreamResult) error {
+			return enc.Encode(sr.Result)
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	collect(laned, half)
+	collect(scalar, half)
+	g, s := collect(laned, jobs), collect(scalar, jobs)
+	if !bytes.Equal(g, s) {
+		t.Fatal("laned+cache stream differs from scalar+cache")
+	}
+	wantHits, wantMisses := len(half), len(jobs)
+	if hits, misses := laned.CacheStats(); hits != wantHits || misses != wantMisses {
+		t.Fatalf("laned cache stats hits=%d misses=%d, want %d/%d", hits, misses, wantHits, wantMisses)
+	}
+}
+
+// TestLaneArenaMatchesScalarArena drives the lane harness directly, outside
+// the Engine: every 4-lane batch of thesis-scenario groups must produce, per
+// lane, the Steps, Summary and Collision runArena.runGroup computes for that
+// group on its own.
+func TestLaneArenaMatchesScalarArena(t *testing.T) {
+	jobs := thesisScenarioJobs(1 * time.Second)
+	scalar := newRunArena()
+	la := newLaneArena(4)
+	for lo := 0; lo < len(jobs); lo += 4 {
+		hi := lo + 4
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		groups := make([][]Job, 0, hi-lo)
+		for _, j := range jobs[lo:hi] {
+			groups = append(groups, []Job{j})
+		}
+		got := make([]Result, len(groups))
+		la.run(groups, got)
+		for i, g := range groups {
+			want := make([]Result, 1)
+			scalar.runGroup(g, want)
+			if gj, wj := mustJSON(t, got[i]), mustJSON(t, want[0]); gj != wj {
+				t.Errorf("lane %d (%s): laned result differs\n laned:  %s\n scalar: %s",
+					i, g[0].Scenario.Name, gj, wj)
+			}
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestLaneEarlyStopPerLane pins per-lane early termination: a batch mixing a
+// colliding trajectory (scenario 7 with seeded defects) and non-colliding
+// ones must retire only the colliding lane — its Steps stop at the collision
+// and TerminatedEarly holds — while sibling lanes run their full schedule,
+// all byte-identical to scalar execution.
+func TestLaneEarlyStopPerLane(t *testing.T) {
+	sc7, ok := ScenarioByNumber(7)
+	if !ok {
+		t.Fatal("no scenario 7")
+	}
+	sc1, ok := ScenarioByNumber(1)
+	if !ok {
+		t.Fatal("no scenario 1")
+	}
+	jobs := []Job{
+		{Scenario: sc7},
+		{Scenario: sc7, Options: Options{CorrectDefects: true}},
+		{Scenario: sc1},
+		{Scenario: sc1, Options: Options{CorrectDefects: true}},
+	}
+
+	collect := func(opts ...EngineOption) []StreamResult {
+		var out []StreamResult
+		err := NewEngine(append([]EngineOption{WithRetention(SummaryOnly)}, opts...)...).
+			Stream(context.Background(), SliceSource(jobs), SinkFunc(func(sr StreamResult) error {
+				out = append(out, sr)
+				return nil
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	laned, scalar := collect(), collect(WithLanes(1))
+
+	early := 0
+	for i := range jobs {
+		l, s := laned[i], scalar[i]
+		if l.Result.Steps != s.Result.Steps || l.Result.Collision != s.Result.Collision {
+			t.Errorf("job %d: laned Steps=%d Collision=%v, scalar Steps=%d Collision=%v",
+				i, l.Result.Steps, l.Result.Collision, s.Result.Steps, s.Result.Collision)
+		}
+		if l.Result.TerminatedEarly() != s.Result.TerminatedEarly() {
+			t.Errorf("job %d: laned TerminatedEarly=%v, scalar %v",
+				i, l.Result.TerminatedEarly(), s.Result.TerminatedEarly())
+		}
+		if l.Result.TerminatedEarly() {
+			early++
+		}
+	}
+	if early == 0 || early == len(jobs) {
+		t.Fatalf("want a mix of early-stopped and full-schedule lanes, got %d/%d early", early, len(jobs))
+	}
+	if !laned[0].Result.TerminatedEarly() {
+		t.Error("scenario 7 with seeded defects should stop its lane at the collision")
+	}
+}
+
+// TestLaneStatsCounters pins the lane-batching arithmetic: ten equal-duration
+// width-1 groups batch as 4+4+2 (three widened runs, ten lanes, no ragged
+// fallback), and the counters stay zero when lane batching is inert.
+func TestLaneStatsCounters(t *testing.T) {
+	jobs := thesisScenarioJobs(500 * time.Millisecond)
+
+	engine := NewEngine(WithRetention(SummaryOnly))
+	if _, err := engine.Accumulate(context.Background(), SliceSource(jobs)); err != nil {
+		t.Fatal(err)
+	}
+	want := LaneStats{Batches: 3, Lanes: 10, Ragged: 0}
+	if ls := engine.LaneStats(); ls != want {
+		t.Fatalf("LaneStats = %+v, want %+v", ls, want)
+	}
+	if mw := engine.LaneStats().MeanWidth(); mw < 3.3 || mw > 3.4 {
+		t.Fatalf("MeanWidth = %v, want 10/3", mw)
+	}
+
+	off := NewEngine(WithRetention(SummaryOnly), WithLanes(1))
+	if _, err := off.Accumulate(context.Background(), SliceSource(jobs)); err != nil {
+		t.Fatal(err)
+	}
+	if ls := off.LaneStats(); ls != (LaneStats{}) {
+		t.Fatalf("WithLanes(1) recorded stats %+v, want zero", ls)
+	}
+	if ls := (LaneStats{}); ls.MeanWidth() != 0 {
+		t.Fatalf("zero LaneStats MeanWidth = %v, want 0", ls.MeanWidth())
+	}
+
+	// A duration mismatch splits batches: alternating 500 ms / 1 s jobs can
+	// never widen, so every batch is dispatched ragged at width 1.
+	mixed := thesisScenarioJobs(500 * time.Millisecond)
+	for i := 1; i < len(mixed); i += 2 {
+		mixed[i].Scenario.Duration = 1 * time.Second
+	}
+	ragged := NewEngine(WithRetention(SummaryOnly))
+	if _, err := ragged.Accumulate(context.Background(), SliceSource(mixed)); err != nil {
+		t.Fatal(err)
+	}
+	if ls := ragged.LaneStats(); ls.Batches != 0 || ls.Ragged != len(mixed) {
+		t.Fatalf("mixed-duration LaneStats = %+v, want 0 batches and %d ragged", ls, len(mixed))
+	}
+}
+
+// TestZeroAllocLaneStep extends the PR 5 allocation gates to the widened hot
+// path: steady-state lane commits (scalar handle writes through every lane's
+// view plus the one plane memmove) and steady-state widened observation (one
+// StepLanes pass folding per-lane verdict masks) must not allocate.
+func TestZeroAllocLaneStep(t *testing.T) {
+	skipIfAllocCountsUnreliable(t)
+	const lanes = 4
+	a := newLaneArena(lanes)
+
+	// Warm-up: run a real batch so every handle is bound, every enumeration
+	// interned and the recorders grown to their watermark.
+	jobs := thesisScenarioJobs(100 * time.Millisecond)
+	groups := make([][]Job, lanes)
+	for l := 0; l < lanes; l++ {
+		groups[l] = []Job{jobs[l]}
+	}
+	out := make([]Result, lanes)
+	a.run(groups, out)
+
+	type laneVars struct {
+		speed   sim.NumVar
+		stopped sim.BoolVar
+		source  sim.StringVar
+	}
+	vars := make([]laneVars, lanes)
+	for l := 0; l < lanes; l++ {
+		view := a.sim.Bus.Lane(l)
+		vars[l] = laneVars{
+			speed:   view.NumVar(vehicle.SigVehicleSpeed),
+			stopped: view.BoolVar(vehicle.SigVehicleStopped),
+			source:  view.StringVar(vehicle.SigAccelSource),
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		for l := range vars {
+			vars[l].speed.Write(float64(i + l))
+			vars[l].stopped.Write((i+l)%2 == 0)
+			vars[l].source.Write(vehicle.SourceACC)
+		}
+		a.sim.Bus.Commit()
+	})
+	if allocs != 0 {
+		t.Errorf("lane Bus.Commit steady state allocates %v objects/op, want 0", allocs)
+	}
+
+	a.suite.Reset(lanes)
+	st := a.sim.Bus.State()
+	for j := 0; j < 100; j++ {
+		a.suite.ObserveLanes(st)
+	}
+	allocs = testing.AllocsPerRun(1000, func() { a.suite.ObserveLanes(st) })
+	if allocs != 0 {
+		t.Errorf("ObserveLanes steady state allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,185 @@
+package sim
+
+// Edge-case tests for the lane-widened bus and the lockstep lane kernel:
+// bool bit-plane packing across uint64 word seams, enumeration interning
+// shared across lanes, per-lane hold semantics and per-lane early stop.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/temporal"
+)
+
+// TestLaneBusBoolWordSeams packs a checkerboard of booleans across enough
+// slots and lanes that the physical bit indices (slot*lanes+lane) straddle
+// several uint64 words of the bit plane — including lane groups split across
+// a word boundary (width 5 puts slots 12 and 25 across the 64- and 128-bit
+// seams) — and checks every lane view reads back exactly its own bit.
+func TestLaneBusBoolWordSeams(t *testing.T) {
+	const lanes, slots = 5, 30 // 150 bits: word seams at 64 and 128
+	lb := NewLaneBus(lanes)
+	names := make([]string, slots)
+	for s := range names {
+		names[s] = fmt.Sprintf("b%02d", s)
+	}
+	want := func(s, l int) bool { return (s*7+l*3)%2 == 0 }
+	for s, name := range names {
+		for l := 0; l < lanes; l++ {
+			lb.Lane(l).WriteBool(name, want(s, l))
+		}
+	}
+	lb.Commit()
+	for s, name := range names {
+		for l := 0; l < lanes; l++ {
+			if got := lb.Lane(l).ReadBool(name); got != want(s, l) {
+				t.Fatalf("slot %d lane %d (bit %d): got %v, want %v",
+					s, l, s*lanes+l, got, want(s, l))
+			}
+		}
+	}
+
+	// Flip a single bit on a seam-straddling slot; its plane neighbors (same
+	// slot, adjacent lanes — adjacent physical bits across the word seam)
+	// must be untouched.
+	seam := 12 // lane group spans bits 60..64
+	lb.Lane(2).WriteBool(names[seam], !want(seam, 2))
+	lb.Commit()
+	for l := 0; l < lanes; l++ {
+		got := lb.Lane(l).ReadBool(names[seam])
+		exp := want(seam, l)
+		if l == 2 {
+			exp = !exp
+		}
+		if got != exp {
+			t.Fatalf("after flipping lane 2: slot %d lane %d = %v, want %v", seam, l, got, exp)
+		}
+	}
+}
+
+// TestLaneBusEnumInterningShared checks that all lanes intern enumeration
+// strings into one shared table: equal strings written on different lanes
+// resolve to the same id in the widened state, distinct strings to distinct
+// ids, and every lane view reads back its own value.
+func TestLaneBusEnumInterningShared(t *testing.T) {
+	lb := NewLaneBus(3)
+	lb.Lane(0).WriteString("src", "ACC")
+	lb.Lane(1).WriteString("src", "Driver")
+	lb.Lane(2).WriteString("src", "ACC")
+	lb.Commit()
+
+	for l, want := range []string{"ACC", "Driver", "ACC"} {
+		if got := lb.Lane(l).ReadString("src"); got != want {
+			t.Errorf("lane %d: ReadString = %q, want %q", l, got, want)
+		}
+	}
+	slot := lb.Schema().Intern("src")
+	st := lb.State()
+	id0 := st.SlotStringIDLane(slot, 0)
+	id1 := st.SlotStringIDLane(slot, 1)
+	id2 := st.SlotStringIDLane(slot, 2)
+	if id0 < 0 || id1 < 0 || id2 < 0 {
+		t.Fatalf("string ids not set: %d,%d,%d", id0, id1, id2)
+	}
+	if id0 != id2 {
+		t.Errorf("equal strings on lanes 0 and 2 interned to different ids (%d vs %d)", id0, id2)
+	}
+	if id0 == id1 {
+		t.Errorf("distinct strings on lanes 0 and 1 interned to the same id %d", id0)
+	}
+}
+
+// TestLaneBusHoldSemantics checks per-lane hold-on-commit: a lane that writes
+// nothing this tick keeps its previous committed value while its siblings
+// move — the property that lets a retired lane's signals freeze without any
+// special casing in the commit.
+func TestLaneBusHoldSemantics(t *testing.T) {
+	lb := NewLaneBus(2)
+	lb.Lane(0).WriteNumber("v", 1)
+	lb.Lane(1).WriteNumber("v", 2)
+	lb.Commit()
+	lb.Lane(1).WriteNumber("v", 3)
+	lb.Commit()
+	if got := lb.Lane(0).ReadNumber("v"); got != 1 {
+		t.Errorf("unwritten lane 0 moved: got %v, want held 1", got)
+	}
+	if got := lb.Lane(1).ReadNumber("v"); got != 3 {
+		t.Errorf("lane 1 = %v, want 3", got)
+	}
+}
+
+// laneCounter increments a per-lane signal each tick; its Step writes
+// through the scalar Component interface, proving unmodified components run
+// on lane views.
+type laneCounter struct {
+	n int
+	v NumVar
+}
+
+func (c *laneCounter) Name() string { return "laneCounter" }
+
+func (c *laneCounter) Step(now time.Duration, bus *Bus) {
+	c.n++
+	c.v.Write(float64(c.n))
+}
+func (c *laneCounter) Reset() { c.n = 0 }
+
+// TestLaneSimEarlyStopSteps runs three counter lanes with staggered stop
+// thresholds: each stopping lane must retire at its own tick (Steps includes
+// the stopping tick, matching the scalar kernel), later ticks must not step
+// it, and a lane whose predicate never fires runs the full schedule.
+func TestLaneSimEarlyStopSteps(t *testing.T) {
+	const lanes = 3
+	s := NewLaneSim(time.Millisecond, lanes)
+	counters := make([]*laneCounter, lanes)
+	slot := s.Bus.Schema().Intern("n")
+	for l := 0; l < lanes; l++ {
+		counters[l] = &laneCounter{v: s.Bus.Lane(l).NumVar("n")}
+		s.AddLane(l, counters[l])
+	}
+	thresholds := []float64{5, 12, 1 << 30} // lane 2 never stops
+	s.StopLaneWhen(func(lane int, _ time.Duration, st temporal.State) bool {
+		return st.SlotNumberLane(slot, lane) >= thresholds[lane]
+	})
+
+	var stops []int
+	s.Observe(observerFunc{
+		observe: func(temporal.State) {},
+		stopped: func(l int) { stops = append(stops, l) },
+	})
+
+	stopped := s.Run(20*time.Millisecond, 1<<lanes-1)
+	if stopped != 0b011 {
+		t.Fatalf("stopped mask = %b, want 011", stopped)
+	}
+	if s.Steps(0) != 5 || s.Steps(1) != 12 || s.Steps(2) != 20 {
+		t.Fatalf("Steps = %d,%d,%d, want 5,12,20", s.Steps(0), s.Steps(1), s.Steps(2))
+	}
+	if counters[0].n != 5 || counters[1].n != 12 || counters[2].n != 20 {
+		t.Fatalf("component steps = %d,%d,%d, want 5,12,20", counters[0].n, counters[1].n, counters[2].n)
+	}
+	if len(stops) != 2 || stops[0] != 0 || stops[1] != 1 {
+		t.Fatalf("LaneStopped order = %v, want [0 1]", stops)
+	}
+
+	// A retired lane's committed signals freeze at their stopping value.
+	if got := s.Bus.Lane(0).ReadNumber("n"); got != 5 {
+		t.Errorf("retired lane 0 signal = %v, want frozen 5", got)
+	}
+
+	// Reset rewinds components and steps for the next batch.
+	s.Reset()
+	if counters[0].n != 0 || s.Steps(0) != 0 {
+		t.Fatalf("Reset left counter=%d steps=%d", counters[0].n, s.Steps(0))
+	}
+}
+
+// observerFunc adapts two closures to LaneObserver.
+type observerFunc struct {
+	observe func(temporal.State)
+	stopped func(int)
+}
+
+func (o observerFunc) ObserveLanes(st temporal.State) { o.observe(st) }
+func (o observerFunc) LaneStopped(l int)              { o.stopped(l) }

@@ -38,10 +38,17 @@ type Component interface {
 // typed handles (NumVar/BoolVar/StringVar) up front and read/write by slot;
 // the name-keyed Read*/Write* methods remain as the schema-resolving
 // compatibility path.
+// A Bus may also be one lane's view of a lane-widened register file
+// (LaneBus): the double-buffered states are then shared by all lanes and
+// every slot access is routed to the view's lane of the slot's contiguous
+// lane group.  Components are oblivious — a lane view is just a *Bus whose
+// handles resolve to lane-strided physical indices.
 type Bus struct {
 	schema  *temporal.Schema
 	current temporal.State
 	pending temporal.State
+	lanes   int // lane width of the backing states (0/1 = scalar bus)
+	lane    int // which lane this view addresses
 }
 
 // NewBus returns an empty bus with a fresh schema.
@@ -59,38 +66,62 @@ func NewBus() *Bus {
 // time (temporal.CompileWithSchema).
 func (b *Bus) Schema() *temporal.Schema { return b.schema }
 
+// physOf maps a schema slot onto the physical register index this bus view
+// addresses: the identity for a scalar bus, the view's lane of the slot's
+// lane group for a lane view.
+func (b *Bus) physOf(slot int) int {
+	if b.lanes > 1 {
+		return slot*b.lanes + b.lane
+	}
+	return slot
+}
+
 // Read returns the visible value of a signal (invalid Value when absent).
-func (b *Bus) Read(name string) temporal.Value { return b.current.Get(name) }
+func (b *Bus) Read(name string) temporal.Value {
+	if i, ok := b.schema.Lookup(name); ok {
+		return b.current.Slot(b.physOf(i))
+	}
+	return temporal.Value{}
+}
 
 // ReadNumber returns the visible numeric value of a signal (NaN if absent).
-func (b *Bus) ReadNumber(name string) float64 { return b.current.Number(name) }
+func (b *Bus) ReadNumber(name string) float64 { return b.Read(name).AsNumber() }
 
 // ReadBool returns the visible boolean value of a signal.
-func (b *Bus) ReadBool(name string) bool { return b.current.Bool(name) }
+func (b *Bus) ReadBool(name string) bool { return b.Read(name).AsBool() }
 
 // ReadString returns the visible string value of a signal.
-func (b *Bus) ReadString(name string) string { return b.current.StringVal(name) }
+func (b *Bus) ReadString(name string) string { return b.Read(name).AsString() }
 
 // Has reports whether the signal has a visible value.
-func (b *Bus) Has(name string) bool { return b.current.Has(name) }
+func (b *Bus) Has(name string) bool { return b.Read(name).IsValid() }
 
 // Write buffers a new value for a signal; it becomes visible next step.
-func (b *Bus) Write(name string, v temporal.Value) { b.pending.Set(name, v) }
+func (b *Bus) Write(name string, v temporal.Value) {
+	b.pending.SetSlot(b.physOf(b.schema.Intern(name)), v)
+}
 
 // WriteNumber buffers a numeric signal value.
-func (b *Bus) WriteNumber(name string, f float64) { b.pending.SetNumber(name, f) }
+func (b *Bus) WriteNumber(name string, f float64) {
+	b.pending.SetSlotNumber(b.physOf(b.schema.Intern(name)), f)
+}
 
 // WriteBool buffers a boolean signal value.
-func (b *Bus) WriteBool(name string, v bool) { b.pending.SetBool(name, v) }
+func (b *Bus) WriteBool(name string, v bool) {
+	b.pending.SetSlotBool(b.physOf(b.schema.Intern(name)), v)
+}
 
 // WriteString buffers a string signal value.
-func (b *Bus) WriteString(name, s string) { b.pending.SetString(name, s) }
+func (b *Bus) WriteString(name, s string) {
+	b.pending.SetSlotString(b.physOf(b.schema.Intern(name)), s)
+}
 
 // Init sets a signal's initial value so that it is visible from the very
 // first step.  Call before Simulation.Run.
 func (b *Bus) Init(name string, v temporal.Value) {
-	b.current.Set(name, v)
-	b.pending.Set(name, v)
+	i := b.physOf(b.schema.Intern(name))
+	b.current.SetSlot(i, v)
+	b.pending.SetSlot(i, v)
 }
 
 // InitNumber initialises a numeric signal.
@@ -134,7 +165,7 @@ type NumVar struct {
 
 // NumVar resolves a numeric signal to a typed handle, interning the name.
 func (b *Bus) NumVar(name string) NumVar {
-	return NumVar{read: b.current, write: b.pending, slot: b.schema.Intern(name)}
+	return NumVar{read: b.current, write: b.pending, slot: b.physOf(b.schema.Intern(name))}
 }
 
 // Read returns the visible value of the signal (NaN when absent).
@@ -152,7 +183,7 @@ type BoolVar struct {
 
 // BoolVar resolves a boolean signal to a typed handle, interning the name.
 func (b *Bus) BoolVar(name string) BoolVar {
-	return BoolVar{read: b.current, write: b.pending, slot: b.schema.Intern(name)}
+	return BoolVar{read: b.current, write: b.pending, slot: b.physOf(b.schema.Intern(name))}
 }
 
 // Read returns the visible value of the signal (false when absent).
@@ -170,7 +201,7 @@ type StringVar struct {
 
 // StringVar resolves a string signal to a typed handle, interning the name.
 func (b *Bus) StringVar(name string) StringVar {
-	return StringVar{read: b.current, write: b.pending, slot: b.schema.Intern(name)}
+	return StringVar{read: b.current, write: b.pending, slot: b.physOf(b.schema.Intern(name))}
 }
 
 // Read returns the visible value of the signal ("" when absent).

@@ -46,6 +46,16 @@ type Program struct {
 
 	nodeRefs int
 	atomRefs int
+
+	// Lane mode (SetLanes/StepLanes): per-node lane registers.  lmask holds
+	// each node's per-lane output mask for the last StepLanes, lbool the mask
+	// analogue of pnode.bstate, and lcnt the per-lane counters of the
+	// bounded-past operators (run length for PrevFor, last-true step for
+	// PrevWithin; nil for every other op).
+	lanes int
+	lmask []uint64
+	lbool []uint64
+	lcnt  [][]int32
 }
 
 // Tap is a handle to one registered formula's per-step output.
@@ -220,6 +230,7 @@ func (p *Program) Reset() {
 			n.bstate, n.have = false, false
 		}
 	}
+	p.resetLanes()
 }
 
 // ProgramStats describes how much evaluation the program's sharing removed.

@@ -1,0 +1,268 @@
+package temporal
+
+import "fmt"
+
+// Lane-batched program evaluation.
+//
+// A Program compiled for a monitor suite normally consumes one State per
+// Step.  In lane mode the same node array evaluates N independent traces in
+// lockstep against one lane-widened State (NewStateWithLanes): each node
+// produces a uint64 output mask whose bit l is the node's verdict for lane l,
+// so the boolean connectives collapse to single word operations and each atom
+// becomes a tight loop over the contiguous lane group of its register slot.
+// Temporal operators keep per-lane state — a mask register for the
+// single-bit operators (prev/once/historically/became/initially) and a small
+// per-lane counter array for the bounded-past operators — and advance all
+// lanes exactly once per StepLanes, so lane l's mask bit sequence is
+// identical to feeding lane l's trace through a scalar Program.
+//
+// Lane mode is an additive evaluation surface: SetLanes allocates the lane
+// registers, StepLanes advances them, OutputMask reads a tap's per-lane
+// verdicts, and Reset clears lane state alongside the scalar state.  A
+// program in lane mode is still not safe for concurrent use.
+
+// MaxLanes is the widest supported lane batch: one bit per lane in the
+// uint64 node masks.
+const MaxLanes = 64
+
+// SetLanes switches the program into lane mode at the given width,
+// allocating per-node lane registers.  It fails for programs containing
+// predicate atoms (opaque func(State) bool closures cannot be evaluated
+// per lane) and for widths outside [1, MaxLanes].  All formulas must be
+// registered before SetLanes; Add after SetLanes is rejected by StepLanes.
+func (p *Program) SetLanes(lanes int) error {
+	if lanes < 1 || lanes > MaxLanes {
+		return fmt.Errorf("temporal: lane width %d outside [1, %d]", lanes, MaxLanes)
+	}
+	for i := range p.nodes {
+		if p.nodes[i].op == opPred {
+			return fmt.Errorf("temporal: program contains a predicate atom; predicates cannot be lane-stepped")
+		}
+	}
+	p.lanes = lanes
+	p.lmask = make([]uint64, len(p.nodes))
+	p.lbool = make([]uint64, len(p.nodes))
+	p.lcnt = make([][]int32, len(p.nodes))
+	for i := range p.nodes {
+		switch p.nodes[i].op {
+		case opPrevFor, opPrevWithin:
+			p.lcnt[i] = make([]int32, lanes)
+		}
+	}
+	p.resetLanes()
+	return nil
+}
+
+// Lanes returns the lane width set by SetLanes (0 when the program is not in
+// lane mode).
+func (p *Program) Lanes() int { return p.lanes }
+
+// laneFull returns the mask with one bit set per configured lane.
+func (p *Program) laneFull() uint64 {
+	// lanes == 64 relies on Go's shift semantics: 1<<64 is 0, so 0-1 wraps
+	// to the all-ones mask.
+	return uint64(1)<<uint(p.lanes) - 1
+}
+
+// resetLanes rewinds all per-lane operator state, mirroring Reset's per-op
+// clearing with masks and counters.
+func (p *Program) resetLanes() {
+	if p.lanes == 0 {
+		return
+	}
+	full := p.laneFull()
+	for i := range p.nodes {
+		p.lmask[i] = 0
+		switch p.nodes[i].op {
+		case opHist:
+			p.lbool[i] = full
+		default:
+			p.lbool[i] = 0
+		}
+		switch p.nodes[i].op {
+		case opPrevFor:
+			for l := range p.lcnt[i] {
+				p.lcnt[i][l] = 0
+			}
+		case opPrevWithin:
+			for l := range p.lcnt[i] {
+				p.lcnt[i][l] = -1
+			}
+		}
+	}
+}
+
+// StepLanes evaluates every node against the next lane-widened state, in
+// topological order, and advances all per-lane temporal operator state by one
+// step.  The state must carry at least Lanes() lanes.  It shares the step
+// counter with Step; a program is driven through exactly one of the two per
+// run.
+func (p *Program) StepLanes(st State) {
+	lanes := p.lanes
+	if lanes == 0 || len(p.lmask) != len(p.nodes) {
+		panic("temporal: StepLanes before SetLanes (or formulas added after SetLanes)")
+	}
+	full := p.laneFull()
+	steps := p.steps
+	masks := p.lmask
+	for i := range p.nodes {
+		n := &p.nodes[i]
+		var out uint64
+		switch n.op {
+		case opConst:
+			if n.bstate {
+				out = full
+			}
+		case opVar:
+			if slot, ok := n.ref.resolve(st); ok {
+				base := slot * lanes
+				for l := 0; l < lanes; l++ {
+					if st.SlotBool(base + l) {
+						out |= 1 << uint(l)
+					}
+				}
+			}
+		case opCompareNum:
+			// The hot atom: when every lane of the slot holds a number (the
+			// steady state for the signal planes a sweep varies), the
+			// comparison is one tight loop over the contiguous lane vector of
+			// the float plane.  Mixed-kind lanes fall back to the per-lane
+			// SlotNumberOK path, which reproduces the scalar semantics bit for
+			// bit (bools as 0/1, strings as NaN — still a valid operand, so
+			// OpNe holds — and absent values as false).
+			if slot, ok := n.ref.resolve(st); ok {
+				base := slot * lanes
+				allNum := true
+				for _, k := range st.kinds[base : base+lanes] {
+					if Kind(k) != KindNumber {
+						allNum = false
+						break
+					}
+				}
+				if allNum {
+					vec := st.nums[base : base+lanes]
+					for l, f := range vec {
+						if compareNumbers(f, n.cval, n.cmp) {
+							out |= 1 << uint(l)
+						}
+					}
+				} else {
+					for l := 0; l < lanes; l++ {
+						if f, valid := st.SlotNumberOK(base + l); valid && compareNumbers(f, n.cval, n.cmp) {
+							out |= 1 << uint(l)
+						}
+					}
+				}
+			}
+		case opCompareStrEq:
+			if slot, ok := n.ref.resolve(st); ok {
+				id := n.eref.idIn(st.Schema())
+				base := slot * lanes
+				for l := 0; l < lanes; l++ {
+					k := Kind(st.kinds[base+l])
+					if k == KindInvalid {
+						continue
+					}
+					match := k == KindString && st.strs[base+l] == id
+					if match == (n.cmp == OpEq) {
+						out |= 1 << uint(l)
+					}
+				}
+			}
+		case opCompareVarsNum:
+			lslot, lok := n.ref.resolve(st)
+			rslot, rok := n.ref2.resolve(st)
+			if lok && rok {
+				lbase, rbase := lslot*lanes, rslot*lanes
+				for l := 0; l < lanes; l++ {
+					lf, lv := st.SlotNumberOK(lbase + l)
+					rf, rv := st.SlotNumberOK(rbase + l)
+					if lv && rv && compareNumbers(lf, rf, n.cmp) {
+						out |= 1 << uint(l)
+					}
+				}
+			}
+		case opCompareVars:
+			lslot, lok := n.ref.resolve(st)
+			rslot, rok := n.ref2.resolve(st)
+			if lok && rok {
+				lbase, rbase := lslot*lanes, rslot*lanes
+				for l := 0; l < lanes; l++ {
+					lv, rv := st.Slot(lbase+l), st.Slot(rbase+l)
+					if lv.IsValid() && rv.IsValid() && compareValues(lv, rv, n.cmp) {
+						out |= 1 << uint(l)
+					}
+				}
+			}
+		case opPred:
+			// Rejected by SetLanes; unreachable in lane mode.
+			panic("temporal: predicate atom in lane-stepped program")
+		case opNot:
+			out = ^masks[n.a] & full
+		case opAnd:
+			out = full
+			for _, k := range n.kids {
+				out &= masks[k]
+			}
+		case opOr:
+			for _, k := range n.kids {
+				out |= masks[k]
+			}
+		case opImplies:
+			out = (^masks[n.a] | masks[n.b]) & full
+		case opIff:
+			out = ^(masks[n.a] ^ masks[n.b]) & full
+		case opPrev:
+			if steps > 0 {
+				out = p.lbool[i]
+			}
+			p.lbool[i] = masks[n.a]
+		case opOnce:
+			out = p.lbool[i]
+			p.lbool[i] |= masks[n.a]
+		case opHist:
+			out = p.lbool[i]
+			p.lbool[i] &= masks[n.a]
+		case opBecame:
+			cur := masks[n.a]
+			out = cur &^ p.lbool[i]
+			p.lbool[i] = cur
+		case opPrevFor:
+			cur := masks[n.a]
+			cnt := p.lcnt[i]
+			win := int32(n.n)
+			for l := 0; l < lanes; l++ {
+				if n.n == 0 || (steps >= n.n && cnt[l] >= win) {
+					out |= 1 << uint(l)
+				}
+				if cur&(1<<uint(l)) != 0 {
+					cnt[l]++
+				} else {
+					cnt[l] = 0
+				}
+			}
+		case opPrevWithin:
+			cur := masks[n.a]
+			cnt := p.lcnt[i]
+			for l := 0; l < lanes; l++ {
+				if cnt[l] >= 0 && steps-int(cnt[l]) <= n.n {
+					out |= 1 << uint(l)
+				}
+				if cur&(1<<uint(l)) != 0 {
+					cnt[l] = int32(steps)
+				}
+			}
+		case opInitially:
+			if steps == 0 {
+				p.lbool[i] = masks[n.a]
+			}
+			out = p.lbool[i]
+		}
+		masks[i] = out
+	}
+	p.steps++
+}
+
+// OutputMask reads the per-lane verdict mask a tap's formula produced for the
+// last StepLanes: bit l is lane l's verdict.
+func (p *Program) OutputMask(t Tap) uint64 { return p.lmask[t] }

@@ -1,0 +1,189 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// laneVocabulary extends the random-formula vocabulary with enumeration
+// atoms, so lane stepping's opCompareStrEq path is exercised alongside the
+// numeric and boolean atoms randomPastFormula generates.
+func randomLaneFormula(r *rand.Rand, depth int, pool *[]Formula) Formula {
+	if r.Intn(6) == 0 {
+		colors := []string{"red", "green", "blue"}
+		op := OpEq
+		if r.Intn(2) == 0 {
+			op = OpNe
+		}
+		f := Compare("S", op, String(colors[r.Intn(len(colors))]))
+		*pool = append(*pool, f)
+		return f
+	}
+	return randomPastFormula(r, depth, pool)
+}
+
+// setRandomLaneVar writes one variable's value for one lane of the widened
+// state and the same value into that lane's scalar shadow state.  With small
+// probability the value is absent or of a surprising kind (a string in a
+// numeric slot, a number in the enum slot), so the mixed-kind fallbacks and
+// the unknown-state-is-false convention are covered.
+func setRandomLaneVar(r *rand.Rand, wide State, lane int, scalar State, name string) {
+	slot := wide.Schema().Intern(name)
+	switch name {
+	case "A", "B", "C":
+		if r.Intn(12) == 0 {
+			return // absent
+		}
+		b := r.Intn(2) == 0
+		wide.SetSlotBoolLane(slot, lane, b)
+		scalar.SetSlotBool(slot, b)
+	case "N", "M":
+		switch r.Intn(12) {
+		case 0:
+			return // absent
+		case 1:
+			wide.SetSlotStringLane(slot, lane, "oops")
+			scalar.SetSlotString(slot, "oops")
+		default:
+			f := float64(r.Intn(5))
+			wide.SetSlotNumberLane(slot, lane, f)
+			scalar.SetSlotNumber(slot, f)
+		}
+	case "S":
+		switch r.Intn(12) {
+		case 0:
+			return // absent
+		case 1:
+			f := float64(r.Intn(3))
+			wide.SetSlotNumberLane(slot, lane, f)
+			scalar.SetSlotNumber(slot, f)
+		default:
+			colors := []string{"red", "green", "blue"}
+			c := colors[r.Intn(len(colors))]
+			wide.SetSlotStringLane(slot, lane, c)
+			scalar.SetSlotString(slot, c)
+		}
+	}
+}
+
+// TestStepLanesMatchesScalarPrograms is the lane mode's differential test:
+// a batch of overlapping random formulas evaluated over L independent random
+// traces must produce, via one lane-stepped program over the widened state,
+// exactly the per-step verdicts of L scalar programs each fed its own lane's
+// trace.
+func TestStepLanesMatchesScalarPrograms(t *testing.T) {
+	widths := []int{1, 2, 3, 5, 8, 64}
+	for seed := int64(0); seed < 24; seed++ {
+		lanes := widths[int(seed)%len(widths)]
+		r := rand.New(rand.NewSource(seed))
+		schema := NewSchema()
+		laneProg := NewProgram(time.Millisecond, schema)
+
+		var pool []Formula
+		var formulas []Formula
+		var taps []Tap
+		for i := 0; i < 8; i++ {
+			f := randomLaneFormula(r, 3, &pool)
+			formulas = append(formulas, f)
+			taps = append(taps, laneProg.MustAdd(f))
+		}
+		if err := laneProg.SetLanes(lanes); err != nil {
+			t.Fatalf("seed %d: SetLanes(%d): %v", seed, lanes, err)
+		}
+
+		scalars := make([]*Program, lanes)
+		scalarTaps := make([][]Tap, lanes)
+		for l := 0; l < lanes; l++ {
+			scalars[l] = NewProgram(time.Millisecond, schema)
+			for _, f := range formulas {
+				scalarTaps[l] = append(scalarTaps[l], scalars[l].MustAdd(f))
+			}
+		}
+
+		wide := NewStateWithLanes(schema, lanes)
+		shadows := make([]State, lanes)
+		for l := range shadows {
+			shadows[l] = NewStateWith(schema)
+		}
+		names := []string{"A", "B", "C", "N", "M", "S"}
+
+		for step := 0; step < 60; step++ {
+			wide.Reset()
+			for l := 0; l < lanes; l++ {
+				shadows[l].Reset()
+				for _, name := range names {
+					setRandomLaneVar(r, wide, l, shadows[l], name)
+				}
+			}
+			laneProg.StepLanes(wide)
+			for l := 0; l < lanes; l++ {
+				scalars[l].Step(shadows[l])
+				for i := range formulas {
+					want := scalars[l].Output(scalarTaps[l][i])
+					got := laneProg.OutputMask(taps[i])&(1<<uint(l)) != 0
+					if got != want {
+						t.Fatalf("seed %d step %d lane %d/%d: lane output %v != scalar %v for %s",
+							seed, step, l, lanes, got, want, formulas[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStepLanesResetReuse proves Reset rewinds lane state completely: the
+// same program re-stepped over the same widened trace reproduces identical
+// masks.
+func TestStepLanesResetReuse(t *testing.T) {
+	schema := NewSchema()
+	p := NewProgram(time.Millisecond, schema)
+	tap := p.MustAdd(MustParse("once(A) & !prev(B) & hist(N < 4)"))
+	if err := p.SetLanes(3); err != nil {
+		t.Fatal(err)
+	}
+	run := func() []uint64 {
+		r := rand.New(rand.NewSource(7))
+		wide := NewStateWithLanes(schema, 3)
+		var got []uint64
+		for step := 0; step < 40; step++ {
+			for l := 0; l < 3; l++ {
+				wide.SetSlotBoolLane(schema.Intern("A"), l, r.Intn(2) == 0)
+				wide.SetSlotBoolLane(schema.Intern("B"), l, r.Intn(2) == 0)
+				wide.SetSlotNumberLane(schema.Intern("N"), l, float64(r.Intn(6)))
+			}
+			p.StepLanes(wide)
+			got = append(got, p.OutputMask(tap))
+		}
+		return got
+	}
+	first := run()
+	p.Reset()
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("step %d: mask %b after reset != %b before", i, second[i], first[i])
+		}
+	}
+}
+
+// TestSetLanesRejects covers the lane-mode guards: predicate atoms cannot be
+// lane-stepped, and widths outside [1, MaxLanes] are invalid.
+func TestSetLanesRejects(t *testing.T) {
+	p := NewProgram(time.Millisecond, NewSchema())
+	p.MustAdd(Pred("custom", nil, func(State) bool { return true }))
+	if err := p.SetLanes(4); err == nil {
+		t.Fatal("SetLanes accepted a program with a predicate atom")
+	}
+	q := NewProgram(time.Millisecond, NewSchema())
+	q.MustAdd(Var("A"))
+	if err := q.SetLanes(0); err == nil {
+		t.Fatal("SetLanes(0) accepted")
+	}
+	if err := q.SetLanes(MaxLanes + 1); err == nil {
+		t.Fatal("SetLanes(65) accepted")
+	}
+	if err := q.SetLanes(MaxLanes); err != nil {
+		t.Fatalf("SetLanes(%d): %v", MaxLanes, err)
+	}
+}

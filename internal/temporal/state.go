@@ -27,6 +27,7 @@ type Registers struct {
 	nums   []float64 // number plane
 	bits   []uint64  // packed bool plane, 64 slots per word
 	strs   []int32   // enumeration plane: per-schema interned string ids
+	lanes  int       // lane width; 0 and 1 both mean scalar layout
 }
 
 // bitWords returns the number of bit-plane words covering n slots.
@@ -52,17 +53,83 @@ func NewState() State { return NewStateWith(nil) }
 // one when nil).  The state's register file is sized to the schema and grows
 // as the schema interns further names.
 func NewStateWith(schema *Schema) State {
+	return NewStateWithLanes(schema, 1)
+}
+
+// NewStateWithLanes returns an empty state whose register file is lanes wide:
+// each schema slot owns a contiguous group of lanes values per plane, stored
+// slot-major (physical index = slot*lanes + lane).  With lanes == 1 the layout
+// and every accessor are identical to the scalar state.  Lane-batched
+// execution steps N dynamics variants in lockstep over one such state; each
+// variant reads and writes its own lane of every slot's group.
+func NewStateWithLanes(schema *Schema, lanes int) State {
 	if schema == nil {
 		schema = NewSchema()
 	}
-	n := schema.Len()
+	if lanes < 1 {
+		lanes = 1
+	}
+	n := schema.Len() * lanes
 	return &Registers{
 		schema: schema,
 		kinds:  make([]uint8, n),
 		nums:   make([]float64, n),
 		bits:   make([]uint64, bitWords(n)),
 		strs:   make([]int32, n),
+		lanes:  lanes,
 	}
+}
+
+// Lanes returns the lane width of the register file (1 for scalar states and
+// the nil State).
+func (s *Registers) Lanes() int {
+	if s == nil || s.lanes < 1 {
+		return 1
+	}
+	return s.lanes
+}
+
+// laneIndex maps a logical (slot, lane) pair onto the physical slot-major
+// register index.
+func (s *Registers) laneIndex(slot, lane int) int { return slot*s.Lanes() + lane }
+
+// SlotNumberLane reads lane lane of slot i with SlotNumber semantics.
+func (s *Registers) SlotNumberLane(i, lane int) float64 {
+	return s.SlotNumber(s.laneIndex(i, lane))
+}
+
+// SetSlotNumberLane stores a number at lane lane of slot i.
+func (s *Registers) SetSlotNumberLane(i, lane int, f float64) {
+	s.SetSlotNumber(s.laneIndex(i, lane), f)
+}
+
+// SlotBoolLane reads lane lane of slot i with SlotBool semantics.
+func (s *Registers) SlotBoolLane(i, lane int) bool {
+	return s.SlotBool(s.laneIndex(i, lane))
+}
+
+// SetSlotBoolLane stores a boolean at lane lane of slot i.
+func (s *Registers) SetSlotBoolLane(i, lane int, b bool) {
+	s.SetSlotBool(s.laneIndex(i, lane), b)
+}
+
+// SlotStringIDLane reads the interned enumeration id at lane lane of slot i
+// (-1 when that lane does not hold a string).
+func (s *Registers) SlotStringIDLane(i, lane int) int32 {
+	return s.SlotStringID(s.laneIndex(i, lane))
+}
+
+// SetSlotStringLane stores an enumeration string at lane lane of slot i,
+// interning it in the shared schema string table: lanes share one interning
+// space, so equal strings in different lanes compare as equal small ints.
+func (s *Registers) SetSlotStringLane(i, lane int, str string) {
+	s.SetSlotString(s.laneIndex(i, lane), str)
+}
+
+// SetSlotStringIDLane stores an already-interned enumeration id at lane lane
+// of slot i.
+func (s *Registers) SetSlotStringIDLane(i, lane int, id int32) {
+	s.SetSlotStringID(s.laneIndex(i, lane), id)
 }
 
 // Schema returns the symbol table this state resolves names against (nil
@@ -87,6 +154,7 @@ func (s *Registers) Clone() State {
 		nums:   make([]float64, len(s.nums)),
 		bits:   make([]uint64, len(s.bits)),
 		strs:   make([]int32, len(s.strs)),
+		lanes:  s.lanes,
 	}
 	copy(c.kinds, s.kinds)
 	copy(c.nums, s.nums)
@@ -100,7 +168,7 @@ func (s *Registers) Clone() State {
 //
 //lint:allocok schema-growth slow path; runs only when a name was interned after the state was sized, never in steady state
 func (s *Registers) grow() {
-	n := s.schema.Len()
+	n := s.schema.Len() * s.Lanes()
 	if n <= len(s.kinds) {
 		return
 	}
