@@ -157,30 +157,14 @@ func run(args []string, w io.Writer) error {
 	var src scenarios.JobSource
 	switch {
 	case *sweep:
-		sw, err := scenarios.SweepBySize(*sweepSize)
+		// The selection resolves through the same scenarios.SweepSourceFor
+		// that cmd/sweepd and cmd/sweepworker use, which is what keeps a
+		// worker's enumeration identical to its coordinator's.
+		source, err := scenarios.SweepSourceFor(*sweepSize, *number, *corrected)
 		if err != nil {
 			return err
 		}
-		if *corrected {
-			// -corrected narrows the sweep to the ablation configuration
-			// instead of the preset's seeded+corrected pairing.
-			for i := range sw.Families {
-				sw.Families[i].OptionSets = []scenarios.Options{{CorrectDefects: true}}
-			}
-		}
-		if *number != 0 {
-			var kept []scenarios.Family
-			for _, f := range sw.Families {
-				if f.Base.Number == *number {
-					kept = append(kept, f)
-				}
-			}
-			if len(kept) == 0 {
-				return fmt.Errorf("no scenario numbered %d", *number)
-			}
-			sw.Families = kept
-		}
-		src = sw.Source()
+		src = source()
 	case *number != 0:
 		sc, ok := scenarios.ScenarioByNumber(*number)
 		if !ok {

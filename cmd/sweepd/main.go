@@ -1,21 +1,31 @@
-// Command sweepd coordinates a distributed parameter sweep: it spawns N
-// worker processes — each the ordinary scenarios binary running `-shard i/n
-// -stream` — and merges their NDJSON result streams back into the
-// single-process output contract.  The merged stream (and the final
-// aggregate) is byte-identical to `scenarios -sweep -stream` over the same
-// grid, including when workers are killed mid-sweep: dead shards are
-// re-queued, replacement workers are seeded with every already-proved
-// variant, and duplicate deliveries are dropped by variant key.
+// Command sweepd coordinates a distributed parameter sweep: it drives N
+// shard workers — local `scenarios -shard i/n -stream` processes, or remote
+// sweepworker HTTP daemons — and merges their NDJSON result streams back
+// into the single-process output contract.  The merged stream (and the
+// final aggregate) is byte-identical to `scenarios -sweep -stream` over the
+// same grid, including when workers die mid-sweep: dead shards are
+// re-queued with seeded exponential backoff, replacement workers are seeded
+// with every already-proved variant, and duplicate deliveries are dropped
+// by variant key.
 //
 // Usage:
 //
-//	sweepd [-worker path] [-workers n] [-sweep-size s] [-n number]
-//	       [-corrected] [-worker-pool n] [-stall-timeout d] [-retries k]
-//	       [-timeout d] [-stream]
+//	sweepd [-transport exec|http] [-worker path] [-hosts h1,h2,...]
+//	       [-workers n] [-sweep-size s] [-n number] [-corrected]
+//	       [-worker-pool n] [-stall-timeout d] [-max-attempts k]
+//	       [-backoff d] [-backoff-max d] [-seed s] [-allow-partial]
+//	       [-chaos kinds] [-chaos-seed s] [-timeout d] [-stream]
 //
-// -worker names the scenarios binary (default "scenarios", resolved via
-// PATH).  -workers is the shard count.  Without -stream, only the final
-// "Sweep:" summary lines are printed, matching `scenarios -sweep`.
+// -transport exec (default) spawns local worker processes (-worker names
+// the scenarios binary, resolved via PATH).  -transport http drives the
+// sweepworker daemons listed in -hosts; shard i goes to host i mod len.
+// Each shard may consume up to -max-attempts workers; -allow-partial turns
+// an exhausted shard into a partial aggregate (flagged, with a per-shard
+// completion map) instead of a failed sweep.  -chaos wraps the transport in
+// seeded deterministic fault injection (dist.FaultTransport): a comma list
+// of fault kinds or "all", replayable exactly with the same -chaos-seed.
+// Without -stream, only the final "Sweep:" summary lines are printed,
+// matching `scenarios -sweep`.
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/dist"
@@ -41,14 +52,22 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
-	worker := fs.String("worker", "scenarios", "path to the scenarios worker binary")
-	workers := fs.Int("workers", 3, "number of worker processes (= shard count)")
+	transport := fs.String("transport", "exec", "worker transport: exec (local child processes) or http (remote sweepworker daemons)")
+	worker := fs.String("worker", "scenarios", "exec transport: path to the scenarios worker binary")
+	hosts := fs.String("hosts", "", "http transport: comma-separated sweepworker hosts (host:port or http://host:port)")
+	workers := fs.Int("workers", 3, "number of workers (= shard count)")
 	sweepSize := fs.String("sweep-size", "default", "sweep grid preset, as in scenarios -sweep-size")
 	number := fs.Int("n", 0, "sweep only the given thesis scenario's family (0 = all)")
 	corrected := fs.Bool("corrected", false, "ablation: sweep only the corrected configuration")
 	workerPool := fs.Int("worker-pool", 0, "per-worker engine pool size, passed through as scenarios -workers (0 = worker default)")
 	stallTimeout := fs.Duration("stall-timeout", 2*time.Minute, "kill and re-queue a worker silent for this long (0 disables)")
-	retries := fs.Int("retries", 2, "replacement workers allowed per shard before the sweep fails")
+	maxAttempts := fs.Int("max-attempts", 3, "workers (first + replacements) allowed per shard before it fails")
+	backoff := fs.Duration("backoff", 500*time.Millisecond, "base delay before re-queuing a failed shard; doubles per attempt with seeded jitter (0 = immediate)")
+	backoffMax := fs.Duration("backoff-max", 15*time.Second, "cap on the exponential re-queue backoff")
+	seed := fs.Int64("seed", 1, "seed for the backoff jitter (and -chaos, unless -chaos-seed is set)")
+	allowPartial := fs.Bool("allow-partial", false, "degrade gracefully: retire a shard that exhausts its budget and emit a partial aggregate with a completion map instead of failing the sweep")
+	chaos := fs.String("chaos", "", "inject deterministic faults: comma-separated kinds (spawn-refusal, drop, corrupt, truncate, duplicate, stall, slow) or \"all\" (empty disables)")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for -chaos fault injection (0 = use -seed); the same seed replays the same faults")
 	timeout := fs.Duration("timeout", 0, "bound the whole distributed sweep (0 = no bound)")
 	stream := fs.Bool("stream", false, "emit the merged NDJSON stream (run lines in source order, then the aggregate line) instead of the rendered summary")
 	if err := fs.Parse(args); err != nil {
@@ -57,30 +76,43 @@ func run(args []string, w io.Writer) error {
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be at least 1, got %d", *workers)
 	}
-
-	// The coordinator and every worker must enumerate the same grid; build
-	// the worker argv from the exact flags that shape the local source below.
-	argv := []string{*worker, "-sweep", "-sweep-size", *sweepSize, "-stream"}
-	if *number != 0 {
-		argv = append(argv, "-n", strconv.Itoa(*number))
-	}
-	if *corrected {
-		argv = append(argv, "-corrected")
-	}
-	if *workerPool > 0 {
-		argv = append(argv, "-workers", strconv.Itoa(*workerPool))
+	if *maxAttempts < 1 {
+		return fmt.Errorf("-max-attempts must be at least 1, got %d", *maxAttempts)
 	}
 
-	src, err := sweepSource(*sweepSize, *number, *corrected)
+	// The coordinator enumerates the grid itself; workers enumerate the same
+	// grid from the same selection (argv flags for exec workers, daemon
+	// startup flags for http workers).
+	source, err := scenarios.SweepSourceFor(*sweepSize, *number, *corrected)
 	if err != nil {
 		return err
 	}
 
+	tr, err := buildTransport(*transport, *worker, *hosts, *sweepSize, *number, *corrected, *workerPool)
+	if err != nil {
+		return err
+	}
+	if *chaos != "" {
+		menu, err := parseChaosMenu(*chaos)
+		if err != nil {
+			return err
+		}
+		cs := *chaosSeed
+		if cs == 0 {
+			cs = *seed
+		}
+		tr = &dist.FaultTransport{Inner: tr, Seed: cs, Menu: menu}
+	}
+
 	coord, err := dist.New(dist.Options{
-		Workers:      *workers,
-		Transport:    &dist.ExecTransport{Argv: argv, Stderr: os.Stderr},
-		StallTimeout: *stallTimeout,
-		MaxRetries:   *retries,
+		Workers:         *workers,
+		Transport:       tr,
+		StallTimeout:    *stallTimeout,
+		MaxAttempts:     *maxAttempts,
+		RetryBackoff:    *backoff,
+		RetryBackoffMax: *backoffMax,
+		Seed:            *seed,
+		AllowPartial:    *allowPartial,
 	})
 	if err != nil {
 		return err
@@ -101,11 +133,11 @@ func run(args []string, w io.Writer) error {
 		})
 	}
 
-	acc, err := coord.Run(ctx, src, sink)
+	outcome, err := coord.Run(ctx, source(), sink)
 	if err != nil {
 		return err
 	}
-	rep := dist.NewAggregateReport(acc)
+	rep := outcome.Report()
 	if *stream {
 		return json.NewEncoder(w).Encode(rep)
 	}
@@ -113,32 +145,75 @@ func run(args []string, w io.Writer) error {
 		rep.Runs, rep.Collisions, rep.EarlyTerminations)
 	fmt.Fprintf(w, "Aggregate: %s\n", rep.Aggregate)
 	fmt.Fprintf(w, "Interpretation: %s\n", rep.Aggregate.CompositionEvidence())
+	if outcome.Partial {
+		// Extra provenance lines only on degraded runs, so a complete sweep's
+		// summary stays identical to `scenarios -sweep`.
+		fmt.Fprintf(w, "PARTIAL: the aggregate covers only the shards that completed\n")
+		for shard, c := range outcome.Shards {
+			if !c.Complete {
+				fmt.Fprintf(w, "  shard %d/%d: %d/%d variants after %d attempt(s): %s\n",
+					shard, len(outcome.Shards), c.Done, c.Total, c.Attempts, c.Error)
+			}
+		}
+	}
 	return nil
 }
 
-// sweepSource builds the coordinator's own enumeration of the grid — the
-// same narrowing rules as cmd/scenarios, so both sides agree on the stream.
-func sweepSource(size string, number int, corrected bool) (scenarios.JobSource, error) {
-	sw, err := scenarios.SweepBySize(size)
-	if err != nil {
-		return nil, err
-	}
-	if corrected {
-		for i := range sw.Families {
-			sw.Families[i].OptionSets = []scenarios.Options{{CorrectDefects: true}}
+// buildTransport resolves the -transport selection.
+func buildTransport(kind, worker, hosts, sweepSize string, number int, corrected bool, workerPool int) (dist.Transport, error) {
+	switch kind {
+	case "exec":
+		// Build the worker argv from the exact flags that shape the
+		// coordinator's own enumeration, so both sides agree on the grid.
+		argv := []string{worker, "-sweep", "-sweep-size", sweepSize, "-stream"}
+		if number != 0 {
+			argv = append(argv, "-n", strconv.Itoa(number))
 		}
-	}
-	if number != 0 {
-		var kept []scenarios.Family
-		for _, f := range sw.Families {
-			if f.Base.Number == number {
-				kept = append(kept, f)
+		if corrected {
+			argv = append(argv, "-corrected")
+		}
+		if workerPool > 0 {
+			argv = append(argv, "-workers", strconv.Itoa(workerPool))
+		}
+		return &dist.ExecTransport{Argv: argv, Stderr: os.Stderr}, nil
+	case "http":
+		if hosts == "" {
+			return nil, fmt.Errorf("-transport http needs -hosts (comma-separated sweepworker addresses)")
+		}
+		var list []string
+		for _, h := range strings.Split(hosts, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				list = append(list, h)
 			}
 		}
-		if len(kept) == 0 {
-			return nil, fmt.Errorf("no scenario numbered %d", number)
+		if len(list) == 0 {
+			return nil, fmt.Errorf("-hosts contained no usable addresses: %q", hosts)
 		}
-		sw.Families = kept
+		return &dist.HTTPTransport{Hosts: list}, nil
+	default:
+		return nil, fmt.Errorf("unknown -transport %q (want exec or http)", kind)
 	}
-	return sw.Source(), nil
+}
+
+// parseChaosMenu resolves the -chaos flag into a fault menu.
+func parseChaosMenu(spec string) ([]dist.FaultKind, error) {
+	if spec == "all" {
+		return dist.AllFaultKinds(), nil
+	}
+	var menu []dist.FaultKind
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		k, err := dist.ParseFaultKind(name)
+		if err != nil {
+			return nil, fmt.Errorf("-chaos: %w", err)
+		}
+		menu = append(menu, k)
+	}
+	if len(menu) == 0 {
+		return nil, fmt.Errorf("-chaos contained no fault kinds: %q", spec)
+	}
+	return menu, nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; timing-sensitive budgets scale themselves up when it is on.
+const raceEnabled = true

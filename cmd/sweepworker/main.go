@@ -1,0 +1,83 @@
+// Command sweepworker is the HTTP worker daemon of a distributed sweep: a
+// long-running stdlib net/http server that evaluates shards on demand.  A
+// coordinator (cmd/sweepd with -transport http, or any dist.HTTPTransport)
+// POSTs a JSON dist.ShardSpec — shard index, total, and the already-proved
+// results to seed the engine's cache with — to /shard, and the response
+// streams back the exact `scenarios -stream` NDJSON protocol as a chunked
+// body: one run line per variant of the shard, flushed as produced, then the
+// aggregate trailer line.  /healthz answers readiness probes.
+//
+// The daemon and its coordinator must agree on the sweep: both sides resolve
+// the same -sweep-size/-n/-corrected selection through
+// scenarios.SweepSourceFor, which is the whole coordination protocol — the
+// shard partition is a pure function of the variant keys.  A mismatched
+// worker reports variants the coordinator never enumerated; the coordinator
+// poisons those attempts and, once the shard's budget is exhausted, fails
+// the shard with the alien variant named.
+//
+// Usage:
+//
+//	sweepworker [-addr host:port] [-sweep-size s] [-n number] [-corrected]
+//	            [-workers n]
+//
+// The resolved listen address is printed on stdout once the socket is bound
+// (useful with -addr 127.0.0.1:0), then the daemon serves until killed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/scenarios"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sweepworker", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8571", "listen address (host:port; port 0 picks a free port, printed on stdout)")
+	sweepSize := fs.String("sweep-size", "default", "sweep grid preset, as in scenarios -sweep-size")
+	number := fs.Int("n", 0, "serve only the given thesis scenario's family (0 = all)")
+	corrected := fs.Bool("corrected", false, "ablation: serve only the corrected configuration")
+	workers := fs.Int("workers", 0, "engine pool size per shard request (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	handler, err := newHandler(*sweepSize, *number, *corrected, *workers)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("sweepworker: listen %s: %w", *addr, err)
+	}
+	fmt.Fprintf(w, "sweepworker: serving %q sweep shards on http://%s%s\n",
+		*sweepSize, ln.Addr(), dist.DefaultShardPath)
+	return (&http.Server{Handler: handler}).Serve(ln)
+}
+
+// newHandler builds the daemon's mux: the shard evaluator plus a readiness
+// probe, split out so tests can mount it on httptest servers.
+func newHandler(sweepSize string, number int, corrected bool, workers int) (http.Handler, error) {
+	source, err := scenarios.SweepSourceFor(sweepSize, number, corrected)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle(dist.DefaultShardPath, &dist.WorkerServer{Source: source, Workers: workers})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux, nil
+}

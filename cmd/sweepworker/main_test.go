@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
+		t.Error("bad flags should be an error")
+	}
+	if err := run([]string{"-sweep-size", "enormous"}, io.Discard); err == nil {
+		t.Error("unknown -sweep-size should be rejected")
+	}
+	if err := run([]string{"-n", "99"}, io.Discard); err == nil {
+		t.Error("unknown scenario number should be rejected")
+	}
+	if err := run([]string{"-addr", "definitely-not-an-address"}, io.Discard); err == nil {
+		t.Error("an unbindable -addr should fail the daemon")
+	}
+}
+
+// TestHandlerServesShardAndHealth mounts the daemon's handler on a loopback
+// server and checks both endpoints: /healthz answers probes, /shard streams
+// the worker protocol for a valid spec and rejects non-POSTs.
+func TestHandlerServesShardAndHealth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluates one shard of the scenario-7 family")
+	}
+	handler, err := newHandler("default", 7, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz = %s %q, want 200 ok", resp.Status, body)
+	}
+
+	if resp, err := http.Get(srv.URL + dist.DefaultShardPath); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s = %s, want 405", dist.DefaultShardPath, resp.Status)
+		}
+	}
+
+	spec, _ := json.Marshal(dist.ShardSpec{Index: 0, Total: 2})
+	resp, err = http.Post(srv.URL+dist.DefaultShardPath, "application/json", strings.NewReader(string(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard request = %s, want 200", resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("expected run lines plus a trailer, got %d line(s)", len(lines))
+	}
+	for i, line := range lines {
+		_, ok, err := dist.ParseResultLine([]byte(line))
+		if err != nil {
+			t.Fatalf("line %d unparseable: %v", i, err)
+		}
+		if wantRun := i < len(lines)-1; ok != wantRun {
+			t.Errorf("line %d: run=%v, want %v (trailer must be last and only last)", i, ok, wantRun)
+		}
+	}
+}

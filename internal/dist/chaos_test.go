@@ -98,7 +98,7 @@ func TestChaosSIGKILLWorker(t *testing.T) {
 	if err != nil {
 		t.Fatalf("distributed sweep: %v", err)
 	}
-	if err := enc.Encode(NewAggregateReport(acc)); err != nil {
+	if err := enc.Encode(acc.Report()); err != nil {
 		t.Fatal(err)
 	}
 

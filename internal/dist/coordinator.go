@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"strconv"
 	"time"
 
 	"repro/internal/scenarios"
@@ -12,7 +14,7 @@ import (
 
 // Hooks are optional observation points, used by tests to inject failures
 // (killing a worker after its k-th result) and by front-ends for progress.
-// Both may be nil; both are called from the coordinator's main loop.
+// All may be nil; all are called from the coordinator's main loop.
 type Hooks struct {
 	// OnSpawn fires after a worker for the given shard and attempt (0-based)
 	// has started.
@@ -20,6 +22,9 @@ type Hooks struct {
 	// OnResult fires for every run line a worker delivers, before
 	// deduplication, with the variant key it carries.
 	OnResult func(shard, attempt int, key string)
+	// OnRetire fires when AllowPartial retires a shard that exhausted its
+	// attempt budget, with the terminal error it died on.
+	OnRetire func(shard int, err error)
 }
 
 // Options configures a Coordinator.
@@ -33,12 +38,116 @@ type Options struct {
 	// long, triggering a re-queue.  Zero disables stall detection (process
 	// exit still triggers re-queue).
 	StallTimeout time.Duration
-	// MaxRetries bounds replacement workers per shard; a shard that dies
-	// more than MaxRetries times fails the whole run.  Zero means no
-	// replacements.
+	// MaxAttempts bounds the total workers (first spawn plus replacements)
+	// spent on one shard; a shard that exhausts the budget fails the run
+	// with an error matching ErrShardFailed — or, under AllowPartial, is
+	// retired and reported in the Outcome's completion map.  Zero derives
+	// the budget from the legacy MaxRetries knob (MaxRetries+1 attempts).
+	MaxAttempts int
+	// MaxRetries is the legacy budget knob: replacement workers per shard.
+	// Superseded by MaxAttempts; consulted only when MaxAttempts is zero.
 	MaxRetries int
-	// Hooks observes spawns and results.
+	// RetryBackoff is the base delay before re-queuing a failed shard:
+	// replacement k waits RetryBackoff<<(k-1), capped at RetryBackoffMax,
+	// scaled by a jitter factor in [0.5,1.5) drawn from the seeded RNG —
+	// so a flapping transport is probed at an exponentially decaying rate
+	// instead of hammered in a tight loop.  Zero re-queues immediately
+	// (the pre-backoff behavior).
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff; zero defaults to
+	// 16×RetryBackoff.
+	RetryBackoffMax time.Duration
+	// Seed drives the backoff jitter RNG.  The same seed and failure
+	// history reproduce the same delays, keeping chaos runs replayable.
+	Seed int64
+	// AllowPartial degrades gracefully instead of failing the sweep: a
+	// shard that exhausts its attempt budget is retired, its undelivered
+	// variants are released as holes in the ordered stream, and Run returns
+	// a Partial Outcome whose Shards records exactly what was lost.  The
+	// byte-identical-to-one-process contract still holds whenever every
+	// shard completes.
+	AllowPartial bool
+	// Hooks observes spawns, results and retirements.
 	Hooks Hooks
+}
+
+// maxAttempts resolves the effective per-shard attempt budget.
+func (o Options) maxAttempts() int {
+	if o.MaxAttempts > 0 {
+		return o.MaxAttempts
+	}
+	if o.MaxRetries > 0 {
+		return o.MaxRetries + 1
+	}
+	return 1
+}
+
+// ErrShardFailed is the sentinel matched (via errors.Is) by the typed error
+// a shard raises when it exhausts its attempt budget with work outstanding.
+var ErrShardFailed = errors.New("dist: shard exhausted its attempt budget")
+
+// ShardError reports one shard's exhausted attempt budget: which shard, how
+// many attempts were spent, how many variants were left undelivered, and the
+// terminal cause of the last attempt.  errors.Is(err, ErrShardFailed) holds.
+type ShardError struct {
+	Shard      int   // failed shard index
+	Total      int   // shard count of the sweep
+	Attempts   int   // attempts consumed (first spawn + replacements)
+	Unfinished int   // variants the shard never delivered
+	Cause      error // terminal error of the last attempt
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("dist: shard %d/%d failed after %d attempt(s), %d variant(s) unfinished: %v",
+		e.Shard, e.Total, e.Attempts, e.Unfinished, e.Cause)
+}
+
+// Unwrap exposes the terminal cause.
+func (e *ShardError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrShardFailed sentinel.
+func (e *ShardError) Is(target error) bool { return target == ErrShardFailed }
+
+// ShardCompletion is one shard's provenance record in a (possibly partial)
+// distributed sweep: how much of the shard was delivered, how many workers
+// it consumed, and — for a retired shard — the terminal error.
+type ShardCompletion struct {
+	Done     int    `json:"done"`            // variants delivered
+	Total    int    `json:"total"`           // variants owned by the shard
+	Complete bool   `json:"complete"`        // Done == Total
+	Attempts int    `json:"attempts"`        // workers spawned for the shard
+	Error    string `json:"error,omitempty"` // terminal error of a retired shard
+}
+
+// Outcome is what a coordinator Run produces: the merged Accumulator (the
+// embedding keeps every existing acc.Runs()/acc.Summary() call site working)
+// plus per-shard completion provenance.  Partial is false exactly when every
+// variant was delivered, in which case Report() marshals byte-identically to
+// the single-process aggregate trailer.
+type Outcome struct {
+	*scenarios.Accumulator
+	// Partial reports that at least one shard was retired under
+	// AllowPartial and the aggregate covers only the delivered variants.
+	Partial bool
+	// Shards holds one completion record per shard, indexed by shard.
+	Shards []ShardCompletion
+}
+
+// Report renders the outcome as the aggregate trailer.  A complete outcome
+// yields exactly NewAggregateReport(acc) — no partial markers — preserving
+// the byte-identity contract; a partial one is flagged and carries the full
+// per-shard completion map.
+func (o *Outcome) Report() AggregateReport {
+	rep := NewAggregateReport(o.Accumulator)
+	if o.Partial {
+		rep.Partial = true
+		rep.Completion = make(map[string]ShardCompletion, len(o.Shards))
+		for shard, c := range o.Shards {
+			rep.Completion[strconv.Itoa(shard)] = c
+		}
+	}
+	return rep
 }
 
 // Coordinator runs a JobSource across sharded workers and merges their
@@ -59,6 +168,9 @@ func New(opts Options) (*Coordinator, error) {
 	}
 	if opts.MaxRetries < 0 {
 		opts.MaxRetries = 0
+	}
+	if opts.RetryBackoff > 0 && opts.RetryBackoffMax <= 0 {
+		opts.RetryBackoffMax = 16 * opts.RetryBackoff
 	}
 	return &Coordinator{opts: opts}, nil
 }
@@ -83,11 +195,13 @@ type exitEvent struct {
 }
 
 // Run executes src across the configured workers and streams the merged
-// results to sink in global source order.  It returns the merged Accumulator;
-// on failure the sink has seen a prefix of the stream and the error reports
-// the first unrecoverable fault (a shard exceeding MaxRetries, a corrupt
-// protocol stream, a sink error, or cancellation).
-func (c *Coordinator) Run(ctx context.Context, src scenarios.JobSource, sink scenarios.ResultSink) (*scenarios.Accumulator, error) {
+// results to sink in global source order.  It returns the merged Outcome; on
+// failure the sink has seen a prefix of the stream and the error reports the
+// first unrecoverable fault (a shard exceeding its attempt budget without
+// AllowPartial, a sink error, or cancellation).  Under AllowPartial an
+// exhausted shard is retired instead: Run succeeds with Outcome.Partial set
+// and the completion map naming the dead shard.
+func (c *Coordinator) Run(ctx context.Context, src scenarios.JobSource, sink scenarios.ResultSink) (*Outcome, error) {
 	n := c.opts.Workers
 
 	// Enumerate the source once to know, independently of any worker, what
@@ -98,7 +212,7 @@ func (c *Coordinator) Run(ctx context.Context, src scenarios.JobSource, sink sce
 	var jobs []jobRef
 	byName := make(map[string]jobRef)
 	seenKeys := make(map[string]struct{})
-	shardRemaining := make([]int, n)
+	shardTotal := make([]int, n)
 	for {
 		job, ok := src.Next()
 		if !ok {
@@ -116,30 +230,40 @@ func (c *Coordinator) Run(ctx context.Context, src scenarios.JobSource, sink sce
 		ref := jobRef{index: len(jobs), job: job, shard: job.Shard(n)}
 		byName[name] = ref
 		jobs = append(jobs, ref)
-		shardRemaining[ref.shard]++
+		shardTotal[ref.shard]++
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	arrivals := make(chan arrival, 64)
-	exits := make(chan exitEvent, n)
+	shardRemaining := make([]int, n)
+	copy(shardRemaining, shardTotal)
 
 	st := &runState{
 		c:              c,
 		ctx:            ctx,
-		arrivals:       arrivals,
-		exits:          exits,
-		shardRemaining: shardRemaining,
-		remaining:      len(jobs),
+		sink:           sink,
+		arrivals:       make(chan arrival, 64),
+		exits:          make(chan exitEvent, n),
+		respawns:       make(chan int, n),
+		refs:           jobs,
 		byName:         byName,
 		total:          n,
+		maxAttempts:    c.opts.maxAttempts(),
+		shardTotal:     shardTotal,
+		shardRemaining: shardRemaining,
+		remaining:      len(jobs),
 		attempt:        make([]int, n),
+		spawned:        make([]int, n),
 		workers:        make([]Worker, n),
 		lastSeen:       make([]time.Time, n),
+		dead:           make([]bool, n),
+		failure:        make([]error, n),
+		poisoned:       make([]error, n),
 		delivered:      make(map[string]struct{}),
 		pending:        make(map[int]scenarios.StreamResult),
 		accs:           make([]*scenarios.Accumulator, n),
+		rng:            rand.New(rand.NewSource(c.opts.Seed)),
 	}
 	for i := range st.accs {
 		st.accs[i] = &scenarios.Accumulator{}
@@ -161,12 +285,25 @@ func (c *Coordinator) Run(ctx context.Context, src scenarios.JobSource, sink sce
 
 	for st.remaining > 0 {
 		select {
-		case a := <-arrivals:
-			if err := st.handleArrival(a, sink); err != nil {
+		case a := <-st.arrivals:
+			if err := st.handleArrival(a); err != nil {
 				return nil, err
 			}
-		case e := <-exits:
+		case e := <-st.exits:
+			// A worker's exit is sent only after its last result was placed in
+			// the arrivals channel, but select order between the two channels is
+			// random — so a fast worker (an HTTP response arriving in one burst,
+			// a fully-seeded replay) can be reaped with its results still
+			// buffered.  Drain them first, or finished work would be charged as
+			// a failed attempt.
+			if err := st.drainArrivals(); err != nil {
+				return nil, err
+			}
 			if err := st.handleExit(e); err != nil {
+				return nil, err
+			}
+		case shard := <-st.respawns:
+			if err := st.spawn(shard); err != nil {
 				return nil, err
 			}
 		case now := <-stall:
@@ -183,37 +320,50 @@ func (c *Coordinator) Run(ctx context.Context, src scenarios.JobSource, sink sce
 	for _, acc := range st.accs {
 		merged.Merge(acc)
 	}
-	return merged, nil
+	return st.outcome(merged), nil
 }
 
 // runState is the bookkeeping of one Run call, owned by the main loop.
 type runState struct {
 	c        *Coordinator
 	ctx      context.Context
+	sink     scenarios.ResultSink
 	arrivals chan arrival
 	exits    chan exitEvent
+	respawns chan int
 
+	refs           []jobRef
 	byName         map[string]jobRef
 	total          int
+	maxAttempts    int
+	shardTotal     []int // enumerated variants per shard
 	shardRemaining []int // undelivered variants per shard
-	remaining      int   // undelivered variants overall
+	remaining      int   // undelivered variants overall (retired shards excluded)
 
 	attempt  []int // current attempt per shard
+	spawned  []int // workers actually started per shard
 	workers  []Worker
 	lastSeen []time.Time
 	live     int
+
+	dead     []bool  // shards retired under AllowPartial
+	failure  []error // terminal error of a retired shard
+	poisoned []error // protocol error that poisoned the current attempt
 
 	delivered map[string]struct{}            // variant keys already merged
 	proved    []ProvedResult                 // merged results, arrival order
 	pending   map[int]scenarios.StreamResult // out-of-order buffer by index
 	next      int                            // next index owed to the sink
 	accs      []*scenarios.Accumulator
+	rng       *rand.Rand // seeded jitter source for retry backoff
 }
 
 // spawn starts (or restarts) the worker for one shard, seeding every variant
 // already proved by any worker so the replacement replays them from cache.
+// A refused spawn is a failed attempt like any other: it consumes budget and
+// schedules a backed-off retry rather than aborting the run.
 func (st *runState) spawn(shard int) error {
-	if st.shardRemaining[shard] == 0 {
+	if st.shardRemaining[shard] == 0 || st.dead[shard] {
 		return nil
 	}
 	attempt := st.attempt[shard]
@@ -221,9 +371,10 @@ func (st *runState) spawn(shard int) error {
 	if attempt > 0 {
 		spec.Seed = st.proved
 	}
+	st.spawned[shard]++
 	w, err := st.c.opts.Transport.Start(st.ctx, spec)
 	if err != nil {
-		return fmt.Errorf("dist: spawning shard %s attempt %d: %w", spec, attempt, err)
+		return st.attemptFailed(shard, fmt.Errorf("spawning shard %s attempt %d: %w", spec, attempt, err))
 	}
 	st.workers[shard] = w
 	st.lastSeen[shard] = time.Now()
@@ -237,6 +388,11 @@ func (st *runState) spawn(shard int) error {
 
 // readWorker drains one worker's protocol stream, forwarding run lines and
 // finally its exit (Wait error, or the protocol error that stopped reading).
+// A malformed line — invalid JSON, an unrecognized shape, a truncated tail
+// with no trailing newline — never panics and never merges: it stops the
+// read with the offending line quoted in the error, which poisons only this
+// attempt (the coordinator re-queues the shard, seeded with the prefix this
+// worker already proved).
 func readWorker(w Worker, shard, attempt int, arrivals chan<- arrival, exits chan<- exitEvent) {
 	var readErr error
 	sc := bufio.NewScanner(w.Output())
@@ -262,18 +418,26 @@ func readWorker(w Worker, shard, attempt int, arrivals chan<- arrival, exits cha
 }
 
 // handleArrival merges one run line: dedup by variant key, fold into the
-// owner shard's accumulator, release contiguous results to the sink.
-func (st *runState) handleArrival(a arrival, sink scenarios.ResultSink) error {
+// owner shard's accumulator, release contiguous results to the sink.  A
+// syntactically valid line naming a variant the coordinator never enumerated
+// is protocol corruption: it poisons the delivering attempt (kill + re-queue)
+// instead of failing the whole run.
+func (st *runState) handleArrival(a arrival) error {
 	if a.attempt == st.attempt[a.shard] {
 		st.lastSeen[a.shard] = time.Now()
 	}
 	ref, ok := st.byName[a.report.Name]
 	if !ok {
-		return fmt.Errorf("dist: shard %d reported unknown variant %q", a.shard, a.report.Name)
+		st.poisonAttempt(a.shard, a.attempt,
+			fmt.Errorf("dist: shard %d reported unknown variant %q", a.shard, a.report.Name))
+		return nil
 	}
 	key := ref.job.Key()
 	if h := st.c.opts.Hooks.OnResult; h != nil {
 		h(a.shard, a.attempt, key)
+	}
+	if st.dead[ref.shard] {
+		return nil // the shard was retired; its holes are already released
 	}
 	if _, dup := st.delivered[key]; dup {
 		return nil // idempotent re-delivery from a re-queued or slow worker
@@ -286,38 +450,166 @@ func (st *runState) handleArrival(a arrival, sink scenarios.ResultSink) error {
 	st.remaining--
 
 	st.pending[ref.index] = scenarios.StreamResult{Index: ref.index, Job: ref.job, Result: res}
+	return st.releaseReady()
+}
+
+// releaseReady delivers every result the ordered stream is now owed: buffered
+// results at the next index, and — once a shard has been retired — the holes
+// its undelivered variants leave, which would otherwise dam the stream.
+func (st *runState) releaseReady() error {
 	for {
-		sr, ok := st.pending[st.next]
-		if !ok {
-			return nil
+		if sr, ok := st.pending[st.next]; ok {
+			delete(st.pending, st.next)
+			st.next++
+			if err := st.sink.Consume(sr); err != nil {
+				return fmt.Errorf("dist: sink: %w", err)
+			}
+			continue
 		}
-		delete(st.pending, st.next)
-		st.next++
-		if err := sink.Consume(sr); err != nil {
-			return fmt.Errorf("dist: sink: %w", err)
+		if st.next < len(st.refs) {
+			ref := st.refs[st.next]
+			if st.dead[ref.shard] {
+				if _, done := st.delivered[ref.job.Key()]; !done {
+					st.next++ // a retired shard's hole: skip, the stream stays ordered
+					continue
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// drainArrivals processes every result already buffered in the arrivals
+// channel without blocking.
+func (st *runState) drainArrivals() error {
+	for {
+		select {
+		case a := <-st.arrivals:
+			if err := st.handleArrival(a); err != nil {
+				return err
+			}
+		default:
+			return nil
 		}
 	}
 }
 
+// poisonAttempt kills the current worker of a shard over a protocol fault.
+// The kill surfaces as an ordinary exit whose cause is the recorded error,
+// so the re-queue path (budget, backoff, seeding) is shared with crashes.
+func (st *runState) poisonAttempt(shard, attempt int, cause error) {
+	if attempt != st.attempt[shard] || st.workers[shard] == nil {
+		return // a replaced worker's stale line
+	}
+	if st.poisoned[shard] == nil {
+		st.poisoned[shard] = cause
+	}
+	st.workers[shard].Kill()
+}
+
 // handleExit reaps one worker.  An exit with the shard complete is success
 // regardless of the exit error (the coordinator's own bookkeeping is the
-// truth); an exit with work outstanding re-queues the shard until MaxRetries
-// is exhausted.
+// truth); an exit with work outstanding counts against the shard's attempt
+// budget.
 func (st *runState) handleExit(e exitEvent) error {
 	if e.attempt != st.attempt[e.shard] {
 		return nil // an already-replaced worker finally reaped
 	}
 	st.workers[e.shard] = nil
 	st.live--
+	cause := e.err
+	if p := st.poisoned[e.shard]; p != nil {
+		cause = p // the protocol fault that triggered the kill, not the kill itself
+		st.poisoned[e.shard] = nil
+	}
 	if st.shardRemaining[e.shard] == 0 {
 		return nil
 	}
-	if st.attempt[e.shard] >= st.c.opts.MaxRetries {
-		return fmt.Errorf("dist: shard %d/%d failed after %d attempt(s), %d variant(s) unfinished: %w",
-			e.shard, st.total, st.attempt[e.shard]+1, st.shardRemaining[e.shard], exitError(e.err))
+	return st.attemptFailed(e.shard, exitError(cause))
+}
+
+// attemptFailed charges one failed attempt against a shard's budget: within
+// budget it schedules a (possibly backed-off) replacement; an exhausted
+// budget either fails the run with a ShardError or, under AllowPartial,
+// retires the shard and releases the stream past its holes.
+func (st *runState) attemptFailed(shard int, cause error) error {
+	used := st.attempt[shard] + 1
+	if used >= st.maxAttempts {
+		serr := &ShardError{
+			Shard:      shard,
+			Total:      st.total,
+			Attempts:   used,
+			Unfinished: st.shardRemaining[shard],
+			Cause:      cause,
+		}
+		if !st.c.opts.AllowPartial {
+			return serr
+		}
+		st.dead[shard] = true
+		st.failure[shard] = serr
+		st.remaining -= st.shardRemaining[shard]
+		if h := st.c.opts.Hooks.OnRetire; h != nil {
+			h(shard, serr)
+		}
+		return st.releaseReady()
 	}
-	st.attempt[e.shard]++
-	return st.spawn(e.shard)
+	st.attempt[shard]++
+	delay := st.backoffDelay(st.attempt[shard])
+	if delay <= 0 {
+		return st.spawn(shard)
+	}
+	respawns, ctx := st.respawns, st.ctx
+	time.AfterFunc(delay, func() {
+		select {
+		case respawns <- shard:
+		case <-ctx.Done():
+		}
+	})
+	return nil
+}
+
+// backoffDelay computes the wait before replacement `attempt` (1-based):
+// exponential in the attempt number, capped, jittered by the seeded RNG.
+func (st *runState) backoffDelay(attempt int) time.Duration {
+	return backoffDelay(st.rng, st.c.opts.RetryBackoff, st.c.opts.RetryBackoffMax, attempt)
+}
+
+// backoffDelay is the pure backoff schedule: base<<(attempt-1) capped at max,
+// scaled by a jitter factor in [0.5,1.5) drawn from rng.  A non-positive base
+// disables backoff entirely.
+func backoffDelay(rng *rand.Rand, base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max <= 0 {
+		max = 16 * base
+	}
+	d := max
+	if shift := uint(attempt - 1); shift < 16 {
+		if exp := base << shift; exp > 0 && exp < max {
+			d = exp
+		}
+	}
+	return time.Duration((0.5 + rng.Float64()) * float64(d))
+}
+
+// outcome freezes the per-shard completion records of a finished run.
+func (st *runState) outcome(merged *scenarios.Accumulator) *Outcome {
+	o := &Outcome{Accumulator: merged, Shards: make([]ShardCompletion, st.total)}
+	for s := 0; s < st.total; s++ {
+		comp := ShardCompletion{
+			Done:     st.shardTotal[s] - st.shardRemaining[s],
+			Total:    st.shardTotal[s],
+			Complete: st.shardRemaining[s] == 0,
+			Attempts: st.spawned[s],
+		}
+		if err := st.failure[s]; err != nil {
+			comp.Error = err.Error()
+			o.Partial = true
+		}
+		o.Shards[s] = comp
+	}
+	return o
 }
 
 // exitError normalizes a nil worker error (a clean exit that nevertheless

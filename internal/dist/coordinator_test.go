@@ -70,7 +70,7 @@ func distributed(t *testing.T, opts Options, src scenarios.JobSource) ([]byte, A
 	if err != nil {
 		t.Fatal(err)
 	}
-	return buf.Bytes(), NewAggregateReport(acc)
+	return buf.Bytes(), acc.Report()
 }
 
 // requireIdentical asserts a distributed output equals the single-process

@@ -27,9 +27,25 @@
 // # Coordinated merge
 //
 // The Coordinator spawns one worker per shard through a small Transport
-// interface (ExecTransport runs local processes; LocalTransport runs
-// in-process engines; an HTTP or socket transport can implement the same two
-// methods).  Each worker streams RunReport NDJSON lines; the coordinator
+// interface.  Four implementations ship, all speaking the same NDJSON
+// protocol, so the coordinator's merge path is identical whichever carries
+// the bytes:
+//
+//   - ExecTransport runs local `scenarios -shard i/n` child processes;
+//     Kill is SIGKILL.
+//   - LocalTransport runs in-process engines over an io.Pipe; Kill cancels
+//     the engine's context.  No processes, no sockets — the fast path for
+//     tests and single-machine runs.
+//   - HTTPTransport POSTs the ShardSpec (shard index, total, proved seed
+//     results) as JSON to long-running sweepworker daemons (see
+//     cmd/sweepworker) and reads the chunked NDJSON response; Kill cancels
+//     the request context, which tears down the connection mid-stream.
+//     Hosts are assigned round-robin by shard index, so a re-queued shard
+//     lands on the same host list deterministically.
+//   - FaultTransport wraps any of the above and injects seeded,
+//     deterministic faults (see below).
+//
+// Each worker streams RunReport NDJSON lines; the coordinator
 // maps each line back to the job it enumerated itself, rebuilds the
 // scenarios.Result, and delivers it through the ordered ResultSink path —
 // deduplicated by variant key, reordered into global source order, folded
@@ -50,4 +66,40 @@
 // slow-then-recovered worker's duplicates are dropped at the coordinator's
 // dedup sink.  Every variant therefore reaches the output exactly once, in
 // source order, whatever the failure history.
+//
+// # Retry budgets and backoff
+//
+// Options.MaxAttempts bounds how many workers (first plus replacements) a
+// shard may consume before it fails; a corrupt or alien result line poisons
+// only the attempt that produced it, never the whole sweep.  Replacement
+// spawns are delayed by seeded exponential backoff with jitter
+// (Options.RetryBackoff doubling per attempt up to Options.RetryBackoffMax,
+// scaled by a jitter factor in [0.5, 1.5) drawn from Options.Seed) so a
+// struggling host is not hammered, and the same seed replays the same delay
+// schedule.  A shard that exhausts its budget fails the sweep with
+// ErrShardFailed — a *ShardError naming the shard, the attempt count and the
+// number of unfinished variants — unless Options.AllowPartial is set, in
+// which case the shard is retired: its variants are skipped in the ordered
+// release, the sweep completes, Outcome.Partial is true, and
+// Outcome.Shards records per-shard completion (done/total counts, attempts,
+// final error) so the caller can see exactly what is missing.  When every
+// shard completes, the partial machinery leaves no trace: the output stays
+// byte-identical to the single-process run, which remains the hard
+// invariant.
+//
+// # Deterministic fault injection
+//
+// FaultTransport is the chaos layer: it wraps any inner Transport and
+// sabotages attempts from a seeded menu — spawn-refusal, drop (stream
+// severed between lines), corrupt (one line mangled to non-JSON), truncate
+// (stream ends mid-line), duplicate (one line delivered twice), stall
+// (stream stops and never closes; only the stall timeout recovers it), and
+// slow (lines dripped with a delay).  Every fault decision comes from
+// rand.New(rand.NewSource(Seed ^ shard<<32 ^ attempt)), so a fault schedule is a
+// pure function of (Seed, shard, attempt): re-running with the same seed
+// replays exactly the same sabotage, which turns any chaos-found bug into a
+// deterministic regression test.  The chaos matrix test drives every fault
+// kind through FaultTransport(HTTPTransport) on loopback and requires
+// byte-identical output; `sweepd -chaos <kinds> -chaos-seed N` exposes the
+// same layer on the command line.
 package dist

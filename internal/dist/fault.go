@@ -1,0 +1,294 @@
+package dist
+
+// Seeded, deterministic fault injection for the distributed layer.  The
+// paper's composite-safety argument (and Kopetz's system-of-systems framing)
+// says the interesting failures live between constituents — partitions,
+// silence, corruption — so this file makes those failures a first-class,
+// replayable input: FaultTransport wraps any inner Transport and sabotages
+// attempts from a menu of network-shaped faults, each drawn from a
+// per-attempt seeded RNG, so every chaos run is reproducible by (seed,
+// menu) alone.
+//
+//lint:deterministic — fault choice must be a pure function of
+// seed/shard/attempt (injected-seed RNG only, no global rand, no clock), or
+// chaos runs stop being replayable.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultKind names one injectable network fault.
+type FaultKind uint8
+
+const (
+	// FaultSpawnRefusal makes Transport.Start itself fail — the remote host
+	// is down, the connection is refused.
+	FaultSpawnRefusal FaultKind = iota
+	// FaultDrop severs the stream abruptly after N good lines, like a
+	// connection reset mid-sweep.
+	FaultDrop
+	// FaultCorrupt mangles the bytes of one NDJSON line into non-JSON.
+	FaultCorrupt
+	// FaultTruncate ends the stream in the middle of a line — the classic
+	// partial write of a dying peer — with no trailing newline.
+	FaultTruncate
+	// FaultDuplicate delivers one line twice.  Unlike the others this fault
+	// must be absorbed without any retry: dedup-by-key is the defense.
+	FaultDuplicate
+	// FaultStall stops the stream after N lines and never closes it; only
+	// the coordinator's stall timeout can reclaim the shard.
+	FaultStall
+	// FaultSlow drips the stream out with a delay before every line.  The
+	// run must still succeed (slowness is not failure) as long as the drip
+	// stays under the stall timeout.
+	FaultSlow
+
+	faultKindCount
+)
+
+// faultKindNames maps kinds to their CLI/flag names.
+var faultKindNames = [faultKindCount]string{
+	FaultSpawnRefusal: "spawn-refusal",
+	FaultDrop:         "drop",
+	FaultCorrupt:      "corrupt",
+	FaultTruncate:     "truncate",
+	FaultDuplicate:    "duplicate",
+	FaultStall:        "stall",
+	FaultSlow:         "slow",
+}
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	if int(k) < len(faultKindNames) {
+		return faultKindNames[k]
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
+// AllFaultKinds returns the full fault menu, in declaration order.
+func AllFaultKinds() []FaultKind {
+	kinds := make([]FaultKind, 0, faultKindCount)
+	for k := FaultKind(0); k < faultKindCount; k++ {
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
+
+// ParseFaultKind resolves a fault name ("drop", "stall", ...) to its kind.
+func ParseFaultKind(name string) (FaultKind, error) {
+	for k, n := range faultKindNames {
+		if n == name {
+			return FaultKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("dist: unknown fault kind %q (want one of %s)",
+		name, strings.Join(faultKindNames[:], ", "))
+}
+
+// FaultTransport wraps an inner Transport in deterministic chaos.  Each
+// shard's first FaultyAttempts spawns are sabotaged with a fault drawn from
+// Menu by a per-attempt rand.New(rand.NewSource(Seed ^ shard<<32 ^ attempt))
+// — the shard index is shifted up so distinct (shard, attempt) pairs never
+// collide — and later attempts pass through untouched, so a coordinator with
+// budget to spare always recovers.  Replaying with the same Seed and Menu
+// reproduces the exact same fault at the exact same point, which is what
+// turns "it failed under chaos" into a debuggable artifact.
+type FaultTransport struct {
+	// Inner is the sabotaged transport.  Required.
+	Inner Transport
+	// Seed drives every fault decision.
+	Seed int64
+	// Menu restricts the injectable kinds; empty means AllFaultKinds().
+	Menu []FaultKind
+	// FaultyAttempts is how many attempts per shard get a fault before the
+	// transport turns honest (default 1: only each shard's first attempt).
+	FaultyAttempts int
+	// Drip is the FaultSlow inter-line delay (default 10ms).
+	Drip time.Duration
+	// OnFault observes each injection: shard, attempt, the chosen kind and
+	// the 1-based line the fault strikes at.  May be nil.
+	OnFault func(shard, attempt int, kind FaultKind, line int)
+
+	mu       sync.Mutex
+	attempts map[int]int
+}
+
+// errFaultKilled is the terminal error of a killed fault worker.
+var errFaultKilled = errors.New("dist: fault worker killed")
+
+// Start implements Transport.
+func (t *FaultTransport) Start(ctx context.Context, spec ShardSpec) (Worker, error) {
+	if t.Inner == nil {
+		return nil, errors.New("dist: FaultTransport needs an Inner transport")
+	}
+	t.mu.Lock()
+	if t.attempts == nil {
+		t.attempts = make(map[int]int)
+	}
+	attempt := t.attempts[spec.Index]
+	t.attempts[spec.Index]++
+	t.mu.Unlock()
+
+	faulty := t.FaultyAttempts
+	if faulty <= 0 {
+		faulty = 1
+	}
+	if attempt >= faulty {
+		return t.Inner.Start(ctx, spec)
+	}
+
+	rng := rand.New(rand.NewSource(t.Seed ^ int64(spec.Index)<<32 ^ int64(attempt)))
+	menu := t.Menu
+	if len(menu) == 0 {
+		menu = AllFaultKinds()
+	}
+	kind := menu[rng.Intn(len(menu))]
+	line := 1 + rng.Intn(6)
+	if t.OnFault != nil {
+		t.OnFault(spec.Index, attempt, kind, line)
+	}
+	if kind == FaultSpawnRefusal {
+		return nil, fmt.Errorf("dist: fault: refusing to spawn shard %s (seed %d, attempt %d)", spec, t.Seed, attempt)
+	}
+
+	inner, err := t.Inner.Start(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	drip := t.Drip
+	if drip <= 0 {
+		drip = 10 * time.Millisecond
+	}
+	pr, pw := io.Pipe()
+	fw := &faultWorker{
+		inner: inner,
+		out:   pr,
+		kind:  kind,
+		line:  line,
+		drip:  drip,
+		done:  make(chan struct{}),
+		killc: make(chan struct{}),
+	}
+	// The pump is transport plumbing, not simulation: it moves bytes between
+	// two streams and cannot influence what any variant computes.
+	go fw.pump(pw) //lint:detok stream filter between worker and coordinator, outside the simulation
+	return fw, nil
+}
+
+// faultWorker filters one inner worker's stream through the chosen fault.
+type faultWorker struct {
+	inner Worker
+	out   *io.PipeReader
+	kind  FaultKind
+	line  int // 1-based line the fault strikes at
+	drip  time.Duration
+
+	done     chan struct{}
+	killc    chan struct{}
+	killOnce sync.Once
+
+	mu  sync.Mutex
+	err error // the injected fault, surfaced by Wait
+}
+
+// setErr records the injected fault for Wait.
+func (w *faultWorker) setErr(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+// pump copies the inner stream to the pipe, applying the fault at its chosen
+// line.  Terminal faults (drop, corrupt, truncate) kill the inner worker so
+// Wait never blocks on a producer nobody is reading.
+func (w *faultWorker) pump(pw *io.PipeWriter) {
+	defer close(w.done)
+	sc := bufio.NewScanner(w.inner.Output())
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	n := 0
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		line = append(line, '\n')
+		n++
+		if n == w.line {
+			switch w.kind {
+			case FaultDrop:
+				err := fmt.Errorf("dist: fault: connection dropped after %d line(s)", n-1)
+				w.setErr(err)
+				w.inner.Kill()
+				pw.CloseWithError(err)
+				return
+			case FaultCorrupt:
+				corrupt := append(line[:len(line)/2:len(line)/2], "<<<fault: corrupted bytes>>>\n"...)
+				pw.Write(corrupt)
+				w.setErr(fmt.Errorf("dist: fault: corrupted line %d", n))
+				w.inner.Kill()
+				pw.Close() // clean EOF after the poison: the parse error is the signal
+				return
+			case FaultTruncate:
+				pw.Write(line[:len(line)/2]) // half a line, no newline, then EOF
+				w.setErr(fmt.Errorf("dist: fault: stream truncated mid-line at line %d", n))
+				w.inner.Kill()
+				pw.Close()
+				return
+			case FaultDuplicate:
+				if _, err := pw.Write(append(line, line...)); err != nil {
+					w.inner.Kill()
+					return
+				}
+				continue
+			case FaultStall:
+				w.setErr(fmt.Errorf("dist: fault: stalled after %d line(s)", n-1))
+				<-w.killc // only the coordinator's stall kill frees us
+				return
+			}
+		}
+		if w.kind == FaultSlow {
+			select {
+			case <-time.After(w.drip):
+			case <-w.killc:
+				return
+			}
+		}
+		if _, err := pw.Write(line); err != nil {
+			w.inner.Kill() // reader gone; stop the producer too
+			return
+		}
+	}
+	pw.CloseWithError(sc.Err())
+}
+
+// Output implements Worker.
+func (w *faultWorker) Output() io.Reader { return w.out }
+
+// Wait implements Worker: the injected fault, if any, is the terminal error;
+// otherwise the inner worker's own exit is.
+func (w *faultWorker) Wait() error {
+	<-w.done
+	innerErr := w.inner.Wait()
+	w.mu.Lock()
+	ferr := w.err
+	w.mu.Unlock()
+	if ferr != nil {
+		return ferr
+	}
+	return innerErr
+}
+
+// Kill implements Worker: kill the producer, free a stalled pump, and fail
+// any reader still blocked on the pipe.
+func (w *faultWorker) Kill() error {
+	w.killOnce.Do(func() { close(w.killc) })
+	w.inner.Kill()
+	return w.out.CloseWithError(errFaultKilled)
+}

@@ -90,7 +90,16 @@ type AggregateReport struct {
 	Aggregate         monitor.Summary `json:"aggregate"`
 	FalseNegativeRate float64         `json:"false_negative_rate"`
 	FalsePositiveRate float64         `json:"false_positive_rate"`
-	Results           []RunReport     `json:"results,omitempty"`
+	// Partial marks an aggregate that covers only part of the sweep: a
+	// coordinator running with AllowPartial retired at least one shard.
+	// Both fields are omitted when the sweep is complete, so a complete
+	// distributed aggregate stays byte-identical to the single-process one.
+	Partial bool `json:"partial,omitempty"`
+	// Completion maps shard index (as a decimal string, for JSON) to that
+	// shard's delivery record; the retired shards are exactly those with
+	// Complete == false.
+	Completion map[string]ShardCompletion `json:"completion,omitempty"`
+	Results    []RunReport                `json:"results,omitempty"`
 }
 
 // NewAggregateReport snapshots an accumulator as the aggregate trailer.

@@ -175,3 +175,54 @@ func TestParseShard(t *testing.T) {
 		t.Errorf("ShardSpec.String() = %q, want 2/5", got)
 	}
 }
+
+// TestParseResultLineHardening pins satellite guarantees of the protocol
+// decoder: no input panics, every rejection quotes the offending line, and
+// the quote is bounded so a megabyte of garbage does not become a megabyte of
+// error message.
+func TestParseResultLineHardening(t *testing.T) {
+	hostile := [][]byte{
+		[]byte("null"),
+		[]byte("true"),
+		[]byte("42"),
+		[]byte(`"just a string"`),
+		[]byte(`[1,2,3]`),
+		[]byte(`{}`),
+		[]byte(`{"name":null,"runs":null}`),
+		[]byte(`{"name":7}`),                        // wrong type for the discriminator
+		[]byte(`{"name":"x","steps":"not an int"}`), // run line with a mistyped field
+		[]byte(`{"runs":"not an int"}`),             // trailer with a mistyped field
+		[]byte(`{"name":"veh`),                      // truncated mid-string
+		[]byte(`{"name":"x"`),                       // truncated mid-object
+		bytes.Repeat([]byte("x"), 4096),
+	}
+	for _, line := range hostile {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("ParseResultLine(%.40q) panicked: %v", line, r)
+				}
+			}()
+			rep, ok, err := ParseResultLine(line)
+			if err == nil && ok {
+				t.Errorf("hostile line %.40q was accepted as run report %+v", line, rep)
+			}
+		}()
+	}
+
+	// A rejected line is quoted in the error so the operator can see what the
+	// worker actually sent...
+	_, _, err := ParseResultLine([]byte(`{"name":"veh`))
+	if err == nil || !strings.Contains(err.Error(), "malformed result line") || !strings.Contains(err.Error(), "veh") {
+		t.Errorf("the offending line should be quoted in the error, got: %v", err)
+	}
+	// ...but bounded: a huge line must not be quoted whole.
+	huge := append([]byte(`{"name":"`), bytes.Repeat([]byte("A"), 1<<16)...)
+	_, _, err = ParseResultLine(huge)
+	if err == nil {
+		t.Fatal("an unterminated huge line must be rejected")
+	}
+	if len(err.Error()) > 512 {
+		t.Errorf("error quoting a %d-byte line is %d bytes long; the quote must be truncated", len(huge), len(err.Error()))
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation slows simulation by roughly an order of
+// magnitude — timing-sensitive budgets scale themselves up when it is on.
+const raceEnabled = true

@@ -12,14 +12,15 @@ import (
 // deterministic variant shards, plus the already-proved results the worker
 // should seed its result cache with (empty on a first attempt, the proved
 // prefix on a re-queue).
+// The JSON form is the body of an HTTPTransport shard request.
 type ShardSpec struct {
 	// Index is the 0-based shard index.
-	Index int
+	Index int `json:"index"`
 	// Total is the shard count; every worker of one sweep shares it.
-	Total int
+	Total int `json:"total"`
 	// Seed holds variants any worker already proved, so a replacement
 	// worker replays them from cache instead of re-simulating.
-	Seed []ProvedResult
+	Seed []ProvedResult `json:"seed,omitempty"`
 }
 
 // String renders the spec in the -shard flag syntax.

@@ -480,3 +480,37 @@ func SweepBySize(name string) (Sweep, error) {
 		return Sweep{}, fmt.Errorf("unknown sweep size %q (want default, wide, huge, tolerance or defects)", name)
 	}
 }
+
+// SweepSourceFor resolves the shared CLI sweep selection — a preset size,
+// an optional single-family narrowing by thesis scenario number, and the
+// optional corrected-only ablation — into a re-enumerable job source.
+// cmd/scenarios, cmd/sweepd and cmd/sweepworker all build their grids
+// through this one function: a distributed coordinator and its workers
+// agree on the job stream exactly because they run the same selection
+// through the same code, with no coordination protocol.
+func SweepSourceFor(size string, number int, corrected bool) (func() JobSource, error) {
+	sw, err := SweepBySize(size)
+	if err != nil {
+		return nil, err
+	}
+	if corrected {
+		// Narrow to the ablation configuration instead of the preset's
+		// seeded+corrected pairing.
+		for i := range sw.Families {
+			sw.Families[i].OptionSets = []Options{{CorrectDefects: true}}
+		}
+	}
+	if number != 0 {
+		var kept []Family
+		for _, f := range sw.Families {
+			if f.Base.Number == number {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("no scenario numbered %d", number)
+		}
+		sw.Families = kept
+	}
+	return sw.Source, nil
+}
